@@ -1,0 +1,230 @@
+package sol
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation, each regenerating its experiment end to end on
+// the virtual clock, plus microbenchmarks for the runtime's hot paths.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks report the experiment's headline metric as
+// custom benchmark outputs so regressions in *results*, not just speed,
+// are visible across runs.
+
+import (
+	"testing"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/experiments"
+	"sol/internal/ml/bandit"
+	"sol/internal/ml/linear"
+	"sol/internal/ml/qlearn"
+	"sol/internal/stats"
+)
+
+// benchExperiment runs one experiment per iteration and reports the
+// chosen metrics.
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, m := range metrics {
+		b.ReportMetric(last.Metrics[m], m)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, "table1", "benefit_fraction")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "table2", "rows")
+}
+
+func BenchmarkFig1(b *testing.B) {
+	benchExperiment(b, "fig1",
+		"Synthetic/SmartOverclock/perf", "Synthetic/SmartOverclock/power",
+		"Synthetic/static-2.3GHz/power")
+}
+
+func BenchmarkFig2(b *testing.B) {
+	benchExperiment(b, "fig2",
+		"with-validation/0.05/power", "without-validation/0.05/power")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	benchExperiment(b, "fig3",
+		"DiskSpeed/without-safeguard/power_increase",
+		"DiskSpeed/with-safeguard/power_increase")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	benchExperiment(b, "fig4",
+		"blocking/extra_power", "non-blocking/extra_power")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	benchExperiment(b, "fig5",
+		"with-safeguard/idle_power", "without-safeguard/idle_power")
+}
+
+func BenchmarkFig6Data(b *testing.B) {
+	benchExperiment(b, "fig6data",
+		"moses/with-validation/p99_increase", "moses/without-validation/p99_increase")
+}
+
+func BenchmarkFig6Model(b *testing.B) {
+	benchExperiment(b, "fig6model",
+		"moses/with-safeguard/p99_increase", "moses/without-safeguard/p99_increase")
+}
+
+func BenchmarkFig6Delay(b *testing.B) {
+	benchExperiment(b, "fig6delay",
+		"moses/non-blocking/p99_increase", "moses/blocking/p99_increase")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	benchExperiment(b, "fig7",
+		"ObjectStore/SmartMemory/scan_reduction",
+		"ObjectStore/SmartMemory/slo_attainment")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	benchExperiment(b, "fig8",
+		"no-safeguards/slo_attainment", "all-safeguards/slo_attainment")
+}
+
+// Design-choice ablations called out in DESIGN.md.
+
+func BenchmarkAblationEpsilon(b *testing.B) {
+	benchExperiment(b, "ablation-epsilon", "eps=0.10/perf")
+}
+
+func BenchmarkAblationQueue(b *testing.B) {
+	benchExperiment(b, "ablation-queue", "cap=4/p99_ms")
+}
+
+func BenchmarkExtSampler(b *testing.B) {
+	benchExperiment(b, "ext-sampler",
+		"SmartSampler/coverage", "static-round-robin/coverage")
+}
+
+// BenchmarkAblationBlocking quantifies the paper's central runtime
+// design decision — the decoupled non-blocking actuator — as the ratio
+// of extra power paid by the blocking strawman under model delays.
+func BenchmarkAblationBlocking(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run("fig4", experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.Metrics["blocking/extra_power"] / r.Metrics["non-blocking/extra_power"]
+	}
+	b.ReportMetric(ratio, "blocking_penalty_x")
+}
+
+// --- Microbenchmarks: the runtime and learner hot paths ---
+
+type nopModel struct{ clk clock.Clock }
+
+func (m *nopModel) CollectData() (int, error) { return 1, nil }
+func (m *nopModel) ValidateData(int) error    { return nil }
+func (m *nopModel) CommitData(time.Time, int) {}
+func (m *nopModel) UpdateModel()              {}
+func (m *nopModel) Predict() (Prediction[int], error) {
+	return Prediction[int]{Value: 1, Expires: m.clk.Now().Add(time.Second)}, nil
+}
+func (m *nopModel) DefaultPredict() Prediction[int] { return Prediction[int]{} }
+func (m *nopModel) AssessModel() bool               { return true }
+
+type nopActuator struct{}
+
+func (nopActuator) TakeAction(*Prediction[int]) {}
+func (nopActuator) AssessPerformance() bool     { return true }
+func (nopActuator) Mitigate()                   {}
+func (nopActuator) CleanUp()                    {}
+
+// BenchmarkRuntimeEpoch measures the full SOL loop machinery: one
+// 10-sample learning epoch plus actuation, scheduled on the virtual
+// clock.
+func BenchmarkRuntimeEpoch(b *testing.B) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	rt := core.MustRun[int, int](clk, &nopModel{clk: clk}, nopActuator{}, Schedule{
+		DataPerEpoch:           10,
+		DataCollectInterval:    100 * time.Millisecond,
+		MaxEpochTime:           1500 * time.Millisecond,
+		AssessModelEvery:       1,
+		MaxActuationDelay:      5 * time.Second,
+		AssessActuatorInterval: time.Second,
+	}, Options{})
+	defer rt.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.RunFor(time.Second) // one epoch
+	}
+}
+
+func BenchmarkQLearnStep(b *testing.B) {
+	l := qlearn.MustNew(qlearn.Config{
+		States: 10, Actions: 3, Alpha: 0.4, Gamma: 0.3, Epsilon: 0.1, RandSeed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _ := l.SelectAction(i % 10)
+		l.Update(i%10, a, 0.5, (i+1)%10)
+	}
+}
+
+func BenchmarkCostSensitiveUpdate(b *testing.B) {
+	cls := linear.MustNewCostSensitive(9, 6, 0.05)
+	x := []float64{0.2, 0.4, 0.35, 0.1, 0.3, 0.02}
+	costs := linear.AsymmetricCosts(9, 4, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls.Update(x, costs)
+		_ = cls.Predict(x)
+	}
+}
+
+func BenchmarkThompsonSelect(b *testing.B) {
+	t := bandit.MustNew(6, stats.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arm := t.Select()
+		t.Reward(arm, i%3 == 0)
+	}
+}
+
+func BenchmarkWindowPercentile(b *testing.B) {
+	w := stats.NewWindow(100)
+	rng := stats.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		w.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Add(rng.Float64())
+		_ = w.Percentile(99)
+	}
+}
+
+func BenchmarkVirtualClock(b *testing.B) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	var tick func()
+	tick = func() { clk.AfterFunc(time.Millisecond, tick) }
+	clk.AfterFunc(time.Millisecond, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Step()
+	}
+}

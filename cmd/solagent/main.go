@@ -1,0 +1,148 @@
+// Command solagent runs one of the paper's three agents against the
+// simulated node and reports what it did — a demonstration daemon for
+// the full agent + SOL runtime stack.
+//
+// Usage:
+//
+//	solagent -agent overclock -duration 10m
+//	solagent -agent harvest   -duration 2m
+//	solagent -agent memory    -duration 30m
+//
+// By default the simulation runs on the virtual clock (instantly);
+// -realtime 1x..N attaches the same agent to the wall clock, pacing the
+// simulated node in real time (useful for watching safeguards live).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sol/internal/agents/harvest"
+	"sol/internal/agents/memory"
+	"sol/internal/agents/overclock"
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/memsim"
+	"sol/internal/node"
+	"sol/internal/stats"
+	"sol/internal/workload"
+)
+
+func main() {
+	var (
+		agent    = flag.String("agent", "overclock", "agent to run: overclock, harvest, memory")
+		duration = flag.Duration("duration", 10*time.Minute, "simulated duration")
+		report   = flag.Duration("report", time.Minute, "reporting interval (simulated)")
+	)
+	flag.Parse()
+
+	clk := clock.NewVirtual(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC))
+	var err error
+	switch *agent {
+	case "overclock":
+		err = runOverclock(clk, *duration, *report)
+	case "harvest":
+		err = runHarvest(clk, *duration, *report)
+	case "memory":
+		err = runMemory(clk, *duration, *report)
+	default:
+		err = fmt.Errorf("unknown agent %q", *agent)
+	}
+	if err != nil {
+		log.Fatalf("solagent: %v", err)
+	}
+}
+
+func runOverclock(clk *clock.Virtual, dur, report time.Duration) error {
+	n, err := node.New(clk, node.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	syn := workload.NewSynthetic(100*time.Second, 120)
+	if _, err := n.AddVM("vm", 4, syn); err != nil {
+		return err
+	}
+	n.Start()
+	ag, err := overclock.Launch(clk, n, overclock.DefaultConfig("vm"), core.Options{})
+	if err != nil {
+		return err
+	}
+	defer ag.Stop()
+
+	for elapsed := time.Duration(0); elapsed < dur; elapsed += report {
+		clk.RunFor(report)
+		fmt.Printf("[%6s] freq=%.1fGHz busy=%-5v batches=%d mean-batch=%.1fs energy=%.0fJ model-failing=%v halted=%v\n",
+			elapsed+report, n.FrequencyGHz("vm"), syn.Busy(), syn.BatchesDone(),
+			syn.MeanBatchSeconds(), n.EnergyJ("vm"),
+			ag.Runtime.ModelAssessmentFailing(), ag.Runtime.Halted())
+	}
+	fmt.Println("\nruntime counters:")
+	fmt.Println(ag.Runtime.Stats())
+	return nil
+}
+
+func runHarvest(clk *clock.Virtual, dur, report time.Duration) error {
+	cfg := node.DefaultConfig()
+	cfg.TickInterval = 50 * time.Microsecond
+	n, err := node.New(clk, cfg)
+	if err != nil {
+		return err
+	}
+	tb := workload.NewImageDNN(stats.NewRNG(1), 8, 1.5)
+	if _, err := n.AddVM("primary", 8, tb); err != nil {
+		return err
+	}
+	el := workload.NewElastic()
+	if _, err := n.AddVM("elastic", 8, el); err != nil {
+		return err
+	}
+	n.SetAvailableCores("elastic", 0)
+	n.Start()
+	ag, err := harvest.Launch(clk, n, harvest.DefaultConfig("primary", "elastic"), core.Options{})
+	if err != nil {
+		return err
+	}
+	defer ag.Stop()
+
+	for elapsed := time.Duration(0); elapsed < dur; elapsed += report {
+		clk.RunFor(report)
+		fmt.Printf("[%6s] grant=%d/8 harvested=%.0f core-s P99=%.1fms served=%d model-failing=%v halted=%v\n",
+			elapsed+report, ag.Actuator.Granted(), el.CoreSeconds(),
+			tb.P99LatencySeconds()*1000, tb.Served(),
+			ag.Runtime.ModelAssessmentFailing(), ag.Runtime.Halted())
+	}
+	fmt.Println("\nruntime counters:")
+	fmt.Println(ag.Runtime.Stats())
+	return nil
+}
+
+func runMemory(clk *clock.Virtual, dur, report time.Duration) error {
+	const regions = 256
+	tr := workload.NewSQLTrace(regions, 1)
+	mem, err := memsim.New(clk, memsim.DefaultConfig(regions), tr)
+	if err != nil {
+		return err
+	}
+	mem.Start()
+	ag, err := memory.Launch(clk, mem, memory.DefaultConfig(), core.Options{})
+	if err != nil {
+		return err
+	}
+	defer ag.Stop()
+
+	prev := mem.Snapshot()
+	for elapsed := time.Duration(0); elapsed < dur; elapsed += report {
+		clk.RunFor(report)
+		cur := mem.Snapshot()
+		fmt.Printf("[%6s] tier1=%d/%d remote=%.1f%% scans=%d resets=%.0f migrations=%d model-failing=%v\n",
+			elapsed+report, mem.Tier1Regions(), regions,
+			100*cur.RemoteFraction(prev), cur.Scans, cur.Resets, cur.Migrations,
+			ag.Runtime.ModelAssessmentFailing())
+		prev = cur
+	}
+	fmt.Println("\nruntime counters:")
+	fmt.Println(ag.Runtime.Stats())
+	return nil
+}

@@ -1,0 +1,17 @@
+// Command soltaxonomy prints the paper's characterization of
+// production on-node agents: Table 1 (the census of 77 Azure node
+// agents by class) and Table 2 (published on-node learning agents).
+package main
+
+import (
+	"fmt"
+
+	"sol/internal/taxonomy"
+)
+
+func main() {
+	fmt.Println("Table 1: Taxonomy of production agents")
+	fmt.Println(taxonomy.RenderTable1())
+	fmt.Println("Table 2: Examples of on-node learning resource control agents")
+	fmt.Println(taxonomy.RenderTable2())
+}

@@ -1,0 +1,82 @@
+// Example: SmartOverclock on a phased compute workload.
+//
+// Reproduces the core Figure 1 story interactively: a VM alternates
+// between compute batches and idle; the agent learns to overclock only
+// the busy phases, landing near static-overclocking performance at a
+// fraction of its power.
+//
+// Run it:
+//
+//	go run ./examples/overclock
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sol/internal/agents/overclock"
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/node"
+	"sol/internal/workload"
+)
+
+func run(policy string, level int) (meanBatch, watts float64) {
+	clk := clock.NewVirtual(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC))
+	n := node.MustNew(clk, node.DefaultConfig())
+	syn := workload.NewSynthetic(100*time.Second, 120)
+	if _, err := n.AddVM("vm", 4, syn); err != nil {
+		panic(err)
+	}
+	n.Start()
+
+	var ag *overclock.Agent
+	if level >= 0 {
+		if err := n.SetFrequencyLevel("vm", level); err != nil {
+			panic(err)
+		}
+	} else {
+		var err error
+		ag, err = overclock.Launch(clk, n, overclock.DefaultConfig("vm"), core.Options{})
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	clk.RunFor(300 * time.Second) // warmup / learning
+	skip := syn.BatchesDone()
+	e0, t0 := n.EnergyJ("vm"), clk.Now()
+	clk.RunFor(600 * time.Second)
+	watts = (n.EnergyJ("vm") - e0) / clk.Now().Sub(t0).Seconds()
+	meanBatch = syn.MeanBatchSecondsFrom(skip)
+	if ag != nil {
+		ag.Stop()
+	}
+	return meanBatch, watts
+}
+
+func main() {
+	fmt.Println("Synthetic workload: 120 core·GHz·s batches every 100 s on 4 cores")
+	fmt.Println()
+	policies := []struct {
+		name  string
+		level int
+	}{
+		{"static 1.5 GHz (nominal)", 0},
+		{"static 1.9 GHz", 1},
+		{"static 2.3 GHz", 2},
+		{"SmartOverclock", -1},
+	}
+	var baseBatch, baseWatts float64
+	for _, p := range policies {
+		mb, w := run(p.name, p.level)
+		if p.level == 0 {
+			baseBatch, baseWatts = mb, w
+		}
+		fmt.Printf("%-26s mean batch %5.1fs (%.2fx speedup)   power %.2fx nominal\n",
+			p.name, mb, baseBatch/mb, w/baseWatts)
+	}
+	fmt.Println()
+	fmt.Println("SmartOverclock overclocks the busy phases only: near static-2.3GHz")
+	fmt.Println("performance without paying its idle power penalty.")
+}

@@ -1,0 +1,182 @@
+// Quickstart: a complete SOL agent in one file.
+//
+// The agent is a small learning watchdog, one of the agent classes the
+// paper identifies as benefiting from on-node learning: it samples a
+// noisy node health metric, learns the metric's normal range online
+// (mean ± k·stddev), and raises an alert when readings leave that
+// range. Every SOL safeguard appears in miniature:
+//
+//   - ValidateData drops physically impossible readings,
+//   - AssessModel refuses to alert off a model that has not seen
+//     enough data or whose variance estimate collapsed,
+//   - DefaultPredict falls back to "no alert" (the safe action),
+//   - AssessPerformance/Mitigate stops an agent that alerts so often
+//     it would page a human continuously.
+//
+// Run it:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sol"
+	"sol/internal/stats"
+)
+
+// reading is the collected telemetry (type D).
+type reading struct {
+	value float64
+	at    time.Time
+}
+
+// verdict is the prediction (type P): alert or not, with the learned
+// bounds for explainability.
+type verdict struct {
+	alert    bool
+	lo, hi   float64
+	observed float64
+}
+
+// metricSource simulates the monitored node metric: a stable baseline
+// with noise, an occasional corrupted reading, and a fault injected
+// partway through the run.
+type metricSource struct {
+	rng     *stats.RNG
+	clk     sol.Clock
+	faultAt time.Time
+}
+
+func (m *metricSource) read() float64 {
+	v := 40 + 3*m.rng.NormFloat64() // healthy: ~N(40, 3)
+	if m.clk.Now().After(m.faultAt) {
+		v += 25 // the incident the watchdog exists to catch
+	}
+	if m.rng.Bool(0.02) {
+		v = -1e9 // corrupted telemetry: must not poison the model
+	}
+	return v
+}
+
+// watchdogModel learns the metric's normal range online.
+type watchdogModel struct {
+	src    *metricSource
+	stats  stats.Welford
+	last   float64
+	minObs int
+}
+
+func (w *watchdogModel) CollectData() (reading, error) {
+	return reading{value: w.src.read(), at: w.src.clk.Now()}, nil
+}
+
+func (w *watchdogModel) ValidateData(r reading) error {
+	if r.value < 0 || r.value > 1000 {
+		return fmt.Errorf("reading %.1f outside physical range [0, 1000]", r.value)
+	}
+	return nil
+}
+
+func (w *watchdogModel) CommitData(t time.Time, r reading) {
+	w.last = r.value
+	w.stats.Add(r.value)
+}
+
+func (w *watchdogModel) UpdateModel() {} // Welford updates incrementally in CommitData
+
+func (w *watchdogModel) Predict() (sol.Prediction[verdict], error) {
+	lo := w.stats.Mean() - 4*w.stats.StdDev()
+	hi := w.stats.Mean() + 4*w.stats.StdDev()
+	return sol.Prediction[verdict]{
+		Value: verdict{alert: w.last < lo || w.last > hi, lo: lo, hi: hi, observed: w.last},
+	}, nil
+}
+
+func (w *watchdogModel) DefaultPredict() sol.Prediction[verdict] {
+	return sol.Prediction[verdict]{Value: verdict{alert: false}}
+}
+
+func (w *watchdogModel) AssessModel() bool {
+	// Refuse to alert until the baseline is established, and if the
+	// variance estimate degenerates (e.g. a stuck counter).
+	return w.stats.Count() >= w.minObs && w.stats.StdDev() > 1e-6
+}
+
+// watchdogActuator raises alerts and guards against alert storms.
+type watchdogActuator struct {
+	alerts      int
+	recent      *stats.Window
+	muted       bool
+	mitigations int
+}
+
+func (a *watchdogActuator) TakeAction(p *sol.Prediction[verdict]) {
+	fired := 0.0
+	if p != nil && p.Value.alert {
+		a.alerts++
+		fired = 1
+		fmt.Printf("  ALERT: metric %.1f outside learned range [%.1f, %.1f]\n",
+			p.Value.observed, p.Value.lo, p.Value.hi)
+	}
+	a.recent.Add(fired)
+}
+
+func (a *watchdogActuator) AssessPerformance() bool {
+	// Alerting on more than half of recent actions is a storm: the
+	// watchdog itself has become the problem.
+	return !a.recent.Full() || a.recent.Mean() < 0.5
+}
+
+func (a *watchdogActuator) Mitigate() {
+	a.mitigations++
+	a.muted = true
+	fmt.Println("  safeguard: alert storm detected, muting the watchdog")
+}
+
+func (a *watchdogActuator) CleanUp() { a.muted = false }
+
+func main() {
+	start := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := sol.NewVirtualClock(start)
+
+	src := &metricSource{
+		rng:     stats.NewRNG(42),
+		clk:     clk,
+		faultAt: start.Add(70 * time.Second),
+	}
+	model := &watchdogModel{src: src, minObs: 50}
+	act := &watchdogActuator{recent: stats.NewWindow(20)}
+
+	rt, err := sol.Run[reading, verdict](clk, model, act, sol.Schedule{
+		DataPerEpoch:           5,
+		DataCollectInterval:    200 * time.Millisecond,
+		MaxEpochTime:           2 * time.Second,
+		AssessModelEvery:       1,
+		MaxActuationDelay:      2 * time.Second,
+		AssessActuatorInterval: 5 * time.Second,
+		PredictionTTL:          2 * time.Second,
+	}, sol.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Stop()
+
+	fmt.Println("learning the metric's normal range (fault injected at t=70s)...")
+	for i := 0; i < 6; i++ {
+		clk.RunFor(20 * time.Second)
+		st := rt.Stats()
+		fmt.Printf("t=%3ds: epochs=%d committed=%d rejected=%d alerts=%d defaults=%d\n",
+			(i+1)*20, st.PredictionsIssued, st.DataCommitted, st.DataRejected,
+			act.alerts, st.DefaultPredictions)
+	}
+
+	st := rt.Stats()
+	fmt.Printf("\nsummary: %d corrupted readings rejected, %d alerts raised, %d mitigations\n",
+		st.DataRejected, act.alerts, act.mitigations)
+	if math.Abs(model.stats.Mean()-40) > 30 {
+		fmt.Println("warning: baseline drifted (the fault polluted the model)")
+	}
+}

@@ -1,0 +1,35 @@
+package harvest
+
+import (
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/node"
+)
+
+// Agent bundles a running SmartHarvest instance.
+type Agent struct {
+	Model    *Model
+	Actuator *Actuator
+	Runtime  *core.Runtime[Sample, int]
+}
+
+// Launch builds the Model and Actuator for cfg and starts them under
+// the SOL runtime on clk.
+func Launch(clk clock.Clock, n *node.Node, cfg Config, opts core.Options) (*Agent, error) {
+	m, err := NewModel(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a, err := NewActuator(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := core.Run[Sample, int](clk, m, a, Schedule(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{Model: m, Actuator: a, Runtime: rt}, nil
+}
+
+// Stop stops the runtime (running CleanUp, which returns all cores).
+func (a *Agent) Stop() { a.Runtime.Stop() }

@@ -1,0 +1,141 @@
+package memory
+
+import (
+	"sort"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/memsim"
+	"sol/internal/stats"
+)
+
+// Agent bundles a running SmartMemory instance.
+type Agent struct {
+	Model    *Model
+	Actuator *Actuator
+	Runtime  *core.Runtime[Tick, Placement]
+}
+
+// Launch builds the Model and Actuator for cfg over mem and starts
+// them under the SOL runtime on clk.
+func Launch(clk clock.Clock, mem *memsim.Memory, cfg Config, opts core.Options) (*Agent, error) {
+	m, err := NewModel(mem, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := NewActuator(mem, cfg)
+	rt, err := core.Run[Tick, Placement](clk, m, a, Schedule(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{Model: m, Actuator: a, Runtime: rt}, nil
+}
+
+// Stop stops the runtime (running CleanUp, which restores tier 1).
+func (a *Agent) Stop() { a.Runtime.Stop() }
+
+// StaticPolicy is the non-learning baseline of Figure 7: it scans every
+// region at one fixed interval, classifies regions by the same
+// hottest-set rule SmartMemory uses, and applies the placement each
+// epoch. It has no safeguards of any kind.
+type StaticPolicy struct {
+	mem      *memsim.Memory
+	clk      clock.Clock
+	interval int // scan every interval base ticks
+	coverage float64
+	epoch    int // ticks per classification epoch
+
+	ticks  int
+	fracs  []float64
+	scans  []int
+	rng    *stats.RNG
+	ticker *clock.Timer
+}
+
+// NewStaticPolicy returns a baseline scanning every `everyTicks` base
+// ticks (1 = the 300 ms maximum rate, 32 = the 9.6 s minimum rate),
+// reclassifying with the given coverage target every epochTicks ticks.
+func NewStaticPolicy(clk clock.Clock, mem *memsim.Memory, everyTicks int, coverage float64, epochTicks int) *StaticPolicy {
+	return &StaticPolicy{
+		mem:      mem,
+		clk:      clk,
+		interval: everyTicks,
+		coverage: coverage,
+		epoch:    epochTicks,
+		fracs:    make([]float64, mem.Regions()),
+		scans:    make([]int, mem.Regions()),
+		rng:      stats.NewRNG(uint64(everyTicks) * 7919),
+	}
+}
+
+// Start begins the policy's scan/classify loop.
+func (s *StaticPolicy) Start() { s.schedule() }
+
+// Stop halts the loop.
+func (s *StaticPolicy) Stop() { s.ticker.Stop() }
+
+func (s *StaticPolicy) schedule() {
+	s.ticker = s.clk.AfterFunc(s.mem.Config().BaseTick, s.tick)
+}
+
+func (s *StaticPolicy) tick() {
+	pages := float64(s.mem.PagesPerRegion())
+	for r := 0; r < s.mem.Regions(); r++ {
+		if s.ticks%s.interval != 0 {
+			continue
+		}
+		res, err := s.mem.Scan(r)
+		if err != nil {
+			continue
+		}
+		s.fracs[r] += float64(res.SetPages) / pages
+		s.scans[r]++
+	}
+	s.ticks++
+	if s.ticks%s.epoch == 0 {
+		s.place()
+	}
+	s.schedule()
+}
+
+// place classifies by observed per-scan hit counts (no saturation
+// correction — that is exactly the resolution loss that makes the
+// min-frequency baseline fail) and applies the placement.
+func (s *StaticPolicy) place() {
+	n := s.mem.Regions()
+	rates := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		if s.scans[r] > 0 {
+			rates[r] = s.fracs[r] / float64(s.scans[r])
+		}
+		total += rates[r]
+		s.fracs[r] = 0
+		s.scans[r] = 0
+	}
+	// Rank by observed hit counts. Ties — which is what saturation
+	// produces — carry no ranking information, so they break randomly:
+	// the policy genuinely cannot tell saturated regions apart.
+	idx := s.rng.Perm(n)
+	sort.SliceStable(idx, func(a, b int) bool { return rates[idx[a]] > rates[idx[b]] })
+	cum := 0.0
+	covered := false
+	for _, r := range idx {
+		if covered || total == 0 {
+			_ = s.mem.SetTier(r, false)
+			continue
+		}
+		_ = s.mem.SetTier(r, true)
+		cum += rates[r]
+		if cum >= s.coverage*total {
+			covered = true
+		}
+	}
+}
+
+// EpochDuration returns the wall-clock length of one classification
+// epoch.
+func (s *StaticPolicy) EpochDuration() time.Duration {
+	return time.Duration(s.epoch) * s.mem.Config().BaseTick
+}

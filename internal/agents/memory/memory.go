@@ -1,0 +1,683 @@
+// Package memory implements SmartMemory (§5.3 of the SOL paper): an
+// agent for managed two-tier memory systems that learns, per 2 MB
+// region, the lowest page-access-bit scanning frequency that still
+// resolves the region's access rate — minimizing TLB-flushing scans —
+// and classifies memory as hot, warm, or cold so that hot regions live
+// in first-tier DRAM and the rest can be offloaded.
+//
+// Learning uses Thompson sampling with a Beta prior, one bandit per
+// region, over scan intervals from 300 ms to 9.6 s (doubling). Each
+// 38.4-second epoch (4× the slowest period) the agent scores the arm it
+// played: a region was undersampled when its chosen rate lost accesses
+// to access-bit saturation, oversampled when the next slower rate would
+// have been lossless too, and well sampled otherwise.
+//
+// Safeguards:
+//
+//   - Data validation: the scanning driver's error codes fail the
+//     sample, discarding that tick's scan results.
+//   - Model assessment: 10% of regions are audited at the maximum
+//     frequency; if the model-recommended rates would have missed more
+//     than 25% of the accesses the audit observed, the model is
+//     undersampling and its placements are intercepted.
+//   - Default predictions: hit counts are downsampled to the slowest
+//     common rate for comparability, and only the coldest 5% of regions
+//     are offloaded — conservative placement that protects QoS without
+//     disabling the second tier.
+//   - Stale predictions need no immediate action (pages simply stay
+//     where they are); the actuator safeguard covers the fallout.
+//   - Actuator safeguard: when the remote-access fraction exceeds the
+//     20% SLO, the agent immediately migrates the hottest second-tier
+//     regions back to DRAM, hottest first, as capacity allows.
+package memory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sol/internal/core"
+	"sol/internal/memsim"
+	"sol/internal/ml/bandit"
+	"sol/internal/stats"
+)
+
+// NumArms is the number of scan-interval arms: 300 ms × 2^k for
+// k = 0..5, i.e. 300 ms to 9.6 s.
+const NumArms = 6
+
+// Tick is one base-tick collection (the Model's data type D): the scan
+// results of every region due this tick, including audit scans.
+type Tick struct {
+	Scans []memsim.ScanResult
+	// Err carries a scanning-driver error; validation fails the sample.
+	Err error
+	// At is the collection time.
+	At time.Time
+}
+
+// Placement is the Model's prediction: which regions belong in tier 2
+// (warm and cold); every other region belongs in tier 1. Rates carries
+// the per-region hotness estimates so the Actuator can order
+// mitigation migrations hottest-first.
+type Placement struct {
+	Tier2 []int
+	Rates []float64
+}
+
+// Config tunes the agent.
+type Config struct {
+	// CoverageTarget is the fraction of estimated accesses the hot set
+	// must cover; the paper targets 80% local accesses, and a little
+	// margin keeps the SLO attainable under estimation noise.
+	CoverageTarget float64
+	// DefaultOffloadFrac is the fraction of coldest regions offloaded
+	// by default predictions (the paper's conservative 5%).
+	DefaultOffloadFrac float64
+	// AuditFrac is the fraction of regions scanned at maximum rate as
+	// assessment ground truth.
+	AuditFrac float64
+	// MissedThreshold fails the model when the estimated fraction of
+	// missed accesses exceeds it (the paper's 25%).
+	MissedThreshold float64
+	// ColdAfter excludes regions untouched this long from scanning and
+	// analysis (the paper's 3 minutes).
+	ColdAfter time.Duration
+	// RemoteSLO is the actuator safeguard's remote-access-fraction
+	// trigger (the paper's 20%).
+	RemoteSLO float64
+	// MitigateBatches is how many hot tier-2 regions a mitigation
+	// migrates back (the paper's 100).
+	MitigateBatches int
+	// MinAssessAccesses gates the actuator safeguard: intervals with
+	// fewer total accesses than this are not judged against the SLO. A
+	// sleeping VM's trickle of stray accesses says nothing about QoS.
+	MinAssessAccesses float64
+	// LossTarget is the per-arm lossless-ness ratio that separates
+	// well-sampled from under/over-sampled.
+	LossTarget float64
+	// BanditDecay is the per-epoch forgetting factor for the Beta
+	// posteriors, letting regions re-learn after phase changes.
+	BanditDecay float64
+	// Seed drives audit selection and Thompson sampling.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		CoverageTarget:     0.85,
+		DefaultOffloadFrac: 0.05,
+		AuditFrac:          0.10,
+		MissedThreshold:    0.25,
+		ColdAfter:          3 * time.Minute,
+		RemoteSLO:          0.20,
+		MitigateBatches:    100,
+		MinAssessAccesses:  1000,
+		LossTarget:         0.93,
+		BanditDecay:        0.98,
+		Seed:               1,
+	}
+}
+
+// Schedule returns the SOL schedule for SmartMemory: one collection per
+// 300 ms base tick, 128 ticks per 38.4 s epoch, and relaxed actuation
+// deadlines (stale placements are safe to keep).
+func Schedule() core.Schedule {
+	return core.Schedule{
+		DataPerEpoch:           128,
+		DataCollectInterval:    300 * time.Millisecond,
+		MaxEpochTime:           48 * time.Second,
+		AssessModelEvery:       1,
+		MaxActuationDelay:      45 * time.Second,
+		AssessActuatorInterval: 1 * time.Second,
+		PredictionTTL:          80 * time.Second, // ~2 epochs
+	}
+}
+
+// regionState is the per-region learning state.
+type regionState struct {
+	bandit *bandit.Thompson
+	arm    int
+	phase  int // scan phase offset to stagger load
+	// Epoch accumulators.
+	scans        int
+	observedFrac float64 // sum of per-scan set fractions
+	cold         bool
+}
+
+// Model is the learning half of SmartMemory.
+type Model struct {
+	mem *memsim.Memory
+	cfg Config
+	rng *stats.RNG
+
+	regions []regionState
+	ticks   int // tick index within the epoch
+
+	// audit state: regions scanned at max rate this epoch and the
+	// per-tick fractions they observed.
+	auditSet   map[int]bool
+	auditFracs map[int][]float64
+
+	rates     []float64 // latest per-region access-rate estimates
+	haveRates bool
+	// cover is the adaptive coverage threshold. Access-bit estimates
+	// saturate, compressing hot-region mass, so a fixed cut on estimate
+	// mass over-provisions tier 1; the agent instead adjusts the cut
+	// each epoch from the observed local-access fraction (the same
+	// hardware counters the actuator safeguard reads), maximizing
+	// remote memory usage subject to the SLO — the paper's stated
+	// objective.
+	cover    float64
+	prevSnap memsim.Counters
+	haveSnap bool
+	missed   float64
+	failing  bool
+	startAt  time.Time
+	started  bool
+
+	// broken forces every bandit selection to the slowest arm — the
+	// undersampling failure the Figure 8 experiment studies.
+	broken bool
+}
+
+// NewModel builds the Model over mem.
+func NewModel(mem *memsim.Memory, cfg Config) (*Model, error) {
+	if cfg.CoverageTarget <= 0 || cfg.CoverageTarget > 1 {
+		return nil, fmt.Errorf("memory: CoverageTarget %v out of (0,1]", cfg.CoverageTarget)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	m := &Model{
+		mem:        mem,
+		cfg:        cfg,
+		rng:        rng,
+		regions:    make([]regionState, mem.Regions()),
+		auditFracs: make(map[int][]float64),
+		rates:      make([]float64, mem.Regions()),
+		cover:      cfg.CoverageTarget,
+	}
+	for r := range m.regions {
+		m.regions[r] = regionState{
+			bandit: bandit.MustNew(NumArms, rng.Split()),
+			phase:  r,
+		}
+	}
+	m.pickAudit()
+	return m, nil
+}
+
+// Break forces the slowest scan rate everywhere (broken model).
+func (m *Model) Break(b bool) { m.broken = b }
+
+// Failing reports the model's own assessment state.
+func (m *Model) Failing() bool { return m.failing }
+
+// MissedFraction returns the latest audit estimate of accesses missed
+// by the model-recommended rates.
+func (m *Model) MissedFraction() float64 { return m.missed }
+
+// Rates returns the latest per-region access-rate estimates.
+func (m *Model) Rates() []float64 { return m.rates }
+
+// pickAudit draws a fresh audit set of AuditFrac of the regions.
+func (m *Model) pickAudit() {
+	m.auditSet = make(map[int]bool)
+	n := int(float64(len(m.regions)) * m.cfg.AuditFrac)
+	perm := m.rng.Perm(len(m.regions))
+	for _, r := range perm[:n] {
+		m.auditSet[r] = true
+	}
+	m.auditFracs = make(map[int][]float64)
+}
+
+// CollectData implements core.Model: perform every region scan due this
+// tick (per-region arm schedule plus max-rate audit scans) and return
+// the results.
+func (m *Model) CollectData() (Tick, error) {
+	now := m.mem.Snapshot().At
+	if !m.started {
+		m.started = true
+		m.startAt = now
+	}
+	t := Tick{At: now}
+	for r := range m.regions {
+		st := &m.regions[r]
+		if st.cold {
+			// Cold regions are excluded from scanning, but an access to
+			// offloaded memory traverses the far-memory driver and is
+			// immediately visible (a fault-like signal). Reheat on
+			// first touch so churn cannot hide behind the exclusion.
+			if last := m.mem.LastAccess(r); !last.IsZero() && now.Sub(last) < m.mem.Config().BaseTick*2 {
+				st.cold = false
+				st.arm = 0 // relearn from the maximum rate
+			} else if !m.auditSet[r] {
+				continue
+			}
+		}
+		every := 1 << st.arm
+		if !m.auditSet[r] && (m.ticks+st.phase)%every != 0 {
+			continue
+		}
+		res, err := m.mem.Scan(r)
+		if err != nil {
+			// Surface the driver error; validation will discard the
+			// whole sample.
+			t.Err = fmt.Errorf("memory: scan driver: %w", err)
+			continue
+		}
+		t.Scans = append(t.Scans, res)
+	}
+	m.ticks++
+	return t, nil
+}
+
+// ValidateData implements core.Model: driver errors fail the sample.
+func (m *Model) ValidateData(t Tick) error { return t.Err }
+
+// CommitData implements core.Model: fold scan results into the
+// per-region epoch accumulators.
+func (m *Model) CommitData(at time.Time, t Tick) {
+	pages := float64(m.mem.PagesPerRegion())
+	for _, s := range t.Scans {
+		frac := float64(s.SetPages) / pages
+		if m.auditSet[s.Region] {
+			m.auditFracs[s.Region] = append(m.auditFracs[s.Region], frac)
+			continue
+		}
+		st := &m.regions[s.Region]
+		st.scans++
+		st.observedFrac += frac
+	}
+}
+
+// UpdateModel implements core.Model: score each region's arm, update
+// its bandit, select next arms, refresh rate estimates, and run the
+// audit computation.
+func (m *Model) UpdateModel() {
+	now := m.mem.Snapshot().At
+	epochSec := float64(m.ticks) * m.mem.Config().BaseTick.Seconds()
+	if epochSec <= 0 {
+		return
+	}
+	pages := float64(m.mem.PagesPerRegion())
+	tickSec := m.mem.Config().BaseTick.Seconds()
+
+	for r := range m.regions {
+		st := &m.regions[r]
+		// Cold detection: untouched for ColdAfter (regions never
+		// touched count from agent start).
+		since := m.startAt
+		if last := m.mem.LastAccess(r); !last.IsZero() {
+			since = last
+		}
+		st.cold = now.Sub(since) > m.cfg.ColdAfter
+
+		var f float64 // mean observed set fraction per scan
+		if m.auditSet[r] {
+			fr := m.auditFracs[r]
+			if len(fr) > 0 {
+				f = perGroupFrac(fr, 1<<st.arm)
+			}
+		} else if st.scans > 0 {
+			f = st.observedFrac / float64(st.scans)
+		}
+
+		if st.scans > 0 || (m.auditSet[r] && len(m.auditFracs[r]) > 0) {
+			g := perTickFrac(f, st.arm)
+			m.rates[r] = g * pages / tickSec
+			st.bandit.Reward(st.arm, m.wellSampled(g, st.arm))
+		}
+		st.bandit.Decay(m.cfg.BanditDecay)
+
+		// Select the next epoch's arm.
+		if m.broken {
+			st.arm = NumArms - 1
+		} else {
+			st.arm = st.bandit.Select()
+		}
+		st.scans = 0
+		st.observedFrac = 0
+	}
+	m.haveRates = true
+	m.adjustCoverage()
+	m.computeMissed()
+	m.pickAudit()
+	m.ticks = 0
+}
+
+// adjustCoverage moves the coverage cut toward the point where the
+// observed local fraction sits just above the SLO: shrink tier 1 when
+// comfortably above, grow it quickly when the margin erodes.
+func (m *Model) adjustCoverage() {
+	cur := m.mem.Snapshot()
+	if !m.haveSnap {
+		m.prevSnap = cur
+		m.haveSnap = true
+		return
+	}
+	remote := cur.RemoteFraction(m.prevSnap)
+	m.prevSnap = cur
+	slack := m.cfg.RemoteSLO - remote
+	switch {
+	case slack > 0.07:
+		// Comfortably under the SLO: offload a little more. Shrinking
+		// is deliberately slow — the epoch is 38 s and mitigations mask
+		// damage, so aggressive steps overshoot before violations can
+		// teach the controller otherwise.
+		m.cover *= 0.97
+	case slack < 0.03:
+		// Margin eroding: pull back hard and immediately.
+		m.cover = m.cover*1.15 + 0.03
+	}
+	m.cover = stats.Clamp(m.cover, 0.45, 0.95)
+}
+
+// Coverage returns the current adaptive coverage threshold.
+func (m *Model) Coverage() float64 { return m.cover }
+
+// wellSampled reports whether arm was the right rate for a region with
+// per-tick touch fraction g: lossless at the chosen rate (not
+// undersampled) and not losslessly replaceable by the next slower rate
+// (not oversampled).
+func (m *Model) wellSampled(g float64, arm int) bool {
+	if g <= 0 {
+		return arm == NumArms-1 // silent region: slowest arm is right
+	}
+	if lossRatio(g, arm) < m.cfg.LossTarget {
+		return false // undersampled: saturation is eating accesses
+	}
+	if arm < NumArms-1 && lossRatio(g, arm+1) >= m.cfg.LossTarget {
+		return false // oversampled: the slower rate would lose nothing
+	}
+	return true
+}
+
+// lossRatio is the fraction of distinct page touches a scanner at arm k
+// observes relative to max-rate scanning, for per-tick touch fraction
+// g: (1−(1−g)^2^k)/(2^k·g).
+func lossRatio(g float64, arm int) float64 {
+	n := float64(uint(1) << uint(arm))
+	return (1 - math.Pow(1-g, n)) / (n * g)
+}
+
+// perTickFrac inverts the saturation curve: given the mean observed
+// fraction f per scan at arm k, estimate the per-tick touch fraction.
+func perTickFrac(f float64, arm int) float64 {
+	f = stats.Clamp(f, 0, 0.95)
+	n := float64(uint(1) << uint(arm))
+	return 1 - math.Pow(1-f, 1/n)
+}
+
+// perGroupFrac folds per-tick audit fractions into what a scanner at
+// interval every ticks would have seen per scan, on average.
+func perGroupFrac(fracs []float64, every int) float64 {
+	if every <= 1 {
+		return stats.Mean(fracs)
+	}
+	var sum float64
+	var groups int
+	for i := 0; i < len(fracs); i += every {
+		end := i + every
+		if end > len(fracs) {
+			end = len(fracs)
+		}
+		miss := 1.0
+		for _, f := range fracs[i:end] {
+			miss *= 1 - f
+		}
+		sum += 1 - miss
+		groups++
+	}
+	if groups == 0 {
+		return 0
+	}
+	return sum / float64(groups)
+}
+
+// computeMissed estimates, from the audit regions, the fraction of
+// distinct page touches the model-recommended rates would have missed.
+func (m *Model) computeMissed() {
+	var atMax, atChosen float64
+	for r := range m.auditSet {
+		fr := m.auditFracs[r]
+		if len(fr) == 0 {
+			continue
+		}
+		arm := m.regions[r].arm
+		every := 1 << arm
+		// Max-rate observation: every tick's touches count once.
+		var max float64
+		for _, f := range fr {
+			max += f
+		}
+		// Chosen-rate observation: touches union within each group.
+		chosen := perGroupFrac(fr, every) * float64((len(fr)+every-1)/every)
+		atMax += max
+		atChosen += chosen
+	}
+	if atMax <= 0 {
+		m.missed = 0
+		return
+	}
+	m.missed = stats.Clamp(1-atChosen/atMax, 0, 1)
+}
+
+// Predict implements core.Model: classify regions hot/warm/cold from
+// the rate estimates. The minimal set of hottest regions covering
+// CoverageTarget of estimated accesses stays in tier 1; warm and cold
+// regions go to tier 2.
+func (m *Model) Predict() (core.Prediction[Placement], error) {
+	if !m.haveRates {
+		return core.Prediction[Placement]{}, fmt.Errorf("memory: no rate estimates yet")
+	}
+	return core.Prediction[Placement]{Value: m.classify(m.cover)}, nil
+}
+
+// DefaultPredict implements core.Model: the conservative placement —
+// only the coldest DefaultOffloadFrac of regions leave tier 1, ranked
+// by hit counts downsampled to the slowest common rate so regions
+// scanned at different frequencies compare fairly.
+func (m *Model) DefaultPredict() core.Prediction[Placement] {
+	n := len(m.regions)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	down := m.downsampledRates()
+	sort.Slice(idx, func(a, b int) bool { return down[idx[a]] < down[idx[b]] })
+	k := int(float64(n) * m.cfg.DefaultOffloadFrac)
+	tier2 := make([]int, k)
+	copy(tier2, idx[:k])
+	return core.Prediction[Placement]{Value: Placement{Tier2: tier2, Rates: m.ratesCopy()}}
+}
+
+// downsampledRates recomputes comparable hit counts as if every region
+// had been scanned at the slowest frequency (maximum saturation).
+func (m *Model) downsampledRates() []float64 {
+	pages := float64(m.mem.PagesPerRegion())
+	tickSec := m.mem.Config().BaseTick.Seconds()
+	out := make([]float64, len(m.rates))
+	for r, rate := range m.rates {
+		g := rate * tickSec / pages
+		n := float64(uint(1) << uint(NumArms-1))
+		out[r] = (1 - math.Pow(1-stats.Clamp(g, 0, 0.95), n)) * pages
+	}
+	return out
+}
+
+func (m *Model) ratesCopy() []float64 {
+	out := make([]float64, len(m.rates))
+	copy(out, m.rates)
+	return out
+}
+
+// classify returns the placement that keeps the hot set in tier 1.
+// Regions saturated even at the maximum scan rate cannot be ranked
+// against each other — the bits are all set — so every one of them is
+// treated as hot; the coverage cut applies to the rankable remainder.
+// Evicting a saturated region on the basis of a tied estimate risks
+// offloading the hottest memory on the node.
+func (m *Model) classify(coverage float64) Placement {
+	n := len(m.regions)
+	pages := float64(m.mem.PagesPerRegion())
+	tickSec := m.mem.Config().BaseTick.Seconds()
+	satRate := 0.90 * pages / tickSec
+
+	var idx []int
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if m.rates[i] >= satRate {
+			continue // saturated: unconditionally hot
+		}
+		idx = append(idx, i)
+		total += m.rates[i]
+	}
+	sort.Slice(idx, func(a, b int) bool { return m.rates[idx[a]] > m.rates[idx[b]] })
+	var tier2 []int
+	cum := 0.0
+	covered := false
+	for _, r := range idx {
+		if covered || total == 0 {
+			tier2 = append(tier2, r)
+			continue
+		}
+		cum += m.rates[r]
+		if cum >= coverage*total {
+			covered = true
+		}
+	}
+	return Placement{Tier2: tier2, Rates: m.ratesCopy()}
+}
+
+// AssessModel implements core.Model: failing while the audit says the
+// recommended rates miss more than MissedThreshold of accesses. A
+// failing model recovers only when the missed fraction falls well
+// below the threshold (hysteresis), so Thompson-sampling exploration
+// noise near the boundary cannot flap the safeguard.
+func (m *Model) AssessModel() bool {
+	if m.failing {
+		m.failing = m.missed > m.cfg.MissedThreshold*0.6
+	} else {
+		m.failing = m.missed > m.cfg.MissedThreshold
+	}
+	return !m.failing
+}
+
+// Actuator is the control half of SmartMemory.
+type Actuator struct {
+	mem *memsim.Memory
+	cfg Config
+
+	prev      memsim.Counters
+	havePrev  bool
+	lastRates []float64
+	// prevRemote snapshots per-region remote access counters so
+	// Mitigate can rank second-tier regions by observed remote traffic
+	// — the most direct "hottest batches in the second tier" signal.
+	prevRemote []float64
+	mitigated  uint64
+}
+
+// NewActuator builds the Actuator over mem.
+func NewActuator(mem *memsim.Memory, cfg Config) *Actuator {
+	return &Actuator{mem: mem, cfg: cfg, prevRemote: make([]float64, mem.Regions())}
+}
+
+// TakeAction implements core.Actuator: apply the placement. A nil
+// prediction needs no action — pages safely stay where they are (§5.3
+// "Handling stale predictions").
+func (a *Actuator) TakeAction(pred *core.Prediction[Placement]) {
+	if pred == nil {
+		return
+	}
+	p := pred.Value
+	a.lastRates = p.Rates
+	inTier2 := make(map[int]bool, len(p.Tier2))
+	for _, r := range p.Tier2 {
+		inTier2[r] = true
+	}
+	// Demotions first to free tier-1 capacity, then promotions,
+	// hottest first, as capacity allows.
+	for _, r := range p.Tier2 {
+		_ = a.mem.SetTier(r, false)
+	}
+	var promote []int
+	for r := 0; r < a.mem.Regions(); r++ {
+		if !inTier2[r] && !a.mem.InTier1(r) {
+			promote = append(promote, r)
+		}
+	}
+	if p.Rates != nil {
+		sort.Slice(promote, func(x, y int) bool { return p.Rates[promote[x]] > p.Rates[promote[y]] })
+	}
+	for _, r := range promote {
+		if err := a.mem.SetTier(r, true); err != nil {
+			break // tier 1 full; hotter regions already in
+		}
+	}
+}
+
+// AssessPerformance implements core.Actuator: the remote-access
+// fraction since the previous check must stay within the SLO.
+func (a *Actuator) AssessPerformance() bool {
+	cur := a.mem.Snapshot()
+	if !a.havePrev {
+		a.prev = cur
+		a.havePrev = true
+		return true
+	}
+	frac := cur.RemoteFraction(a.prev)
+	total := (cur.Local + cur.Remote) - (a.prev.Local + a.prev.Remote)
+	a.prev = cur
+	if total < a.cfg.MinAssessAccesses {
+		return true
+	}
+	return frac <= a.cfg.RemoteSLO
+}
+
+// Mitigate implements core.Actuator: immediately migrate the hottest
+// MitigateBatches second-tier regions back to tier 1, hottest first,
+// as far as capacity allows. Hotness comes from the per-region remote
+// access counters the far-memory driver exposes — the live signal —
+// with the model's rate estimates as tie-breaker.
+func (a *Actuator) Mitigate() {
+	a.mitigated++
+	var tier2 []int
+	heat := make(map[int]float64)
+	for r := 0; r < a.mem.Regions(); r++ {
+		if !a.mem.InTier1(r) {
+			tier2 = append(tier2, r)
+			heat[r] = a.mem.RemoteAccesses(r) - a.prevRemote[r]
+			if heat[r] == 0 && a.lastRates != nil {
+				heat[r] = a.lastRates[r] * 1e-9
+			}
+		}
+	}
+	sort.Slice(tier2, func(x, y int) bool { return heat[tier2[x]] > heat[tier2[y]] })
+	if len(tier2) > a.cfg.MitigateBatches {
+		tier2 = tier2[:a.cfg.MitigateBatches]
+	}
+	for _, r := range tier2 {
+		a.prevRemote[r] = a.mem.RemoteAccesses(r)
+		if err := a.mem.SetTier(r, true); err != nil {
+			break
+		}
+	}
+}
+
+// CleanUp implements core.Actuator: restore all regions to tier 1
+// until done or tier 1 is full. Idempotent.
+func (a *Actuator) CleanUp() {
+	for r := 0; r < a.mem.Regions(); r++ {
+		if !a.mem.InTier1(r) {
+			if err := a.mem.SetTier(r, true); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Mitigations returns how many times Mitigate ran.
+func (a *Actuator) Mitigations() uint64 { return a.mitigated }

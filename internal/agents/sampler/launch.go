@@ -1,0 +1,32 @@
+package sampler
+
+import (
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/telemetry"
+)
+
+// Agent bundles a running SmartSampler instance.
+type Agent struct {
+	Model    *Model
+	Actuator *Actuator
+	Runtime  *core.Runtime[Obs, Allocation]
+}
+
+// Launch builds the Model and Actuator for cfg over src and starts
+// them under the SOL runtime on clk.
+func Launch(clk clock.Clock, src *telemetry.Source, cfg Config, opts core.Options) (*Agent, error) {
+	m, err := NewModel(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := NewActuator(src)
+	rt, err := core.Run[Obs, Allocation](clk, m, a, Schedule(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{Model: m, Actuator: a, Runtime: rt}, nil
+}
+
+// Stop stops the runtime (running CleanUp).
+func (a *Agent) Stop() { a.Runtime.Stop() }

@@ -1,0 +1,41 @@
+// Package clock provides the time abstraction that the SOL runtime and
+// the node simulator are built on.
+//
+// Two implementations are provided. Virtual is a deterministic
+// discrete-event clock: callbacks scheduled with AfterFunc execute in
+// timestamp order when the owner calls Run or Step, and time advances
+// instantaneously between events. Real delegates to the wall clock and
+// the time package. The SOL runtime is written against the Clock
+// interface only, so the exact same agent code runs deterministically
+// in simulation and in real time on a node.
+package clock
+
+import "time"
+
+// Clock is the minimal scheduling surface the SOL runtime needs:
+// reading the current time and scheduling a callback.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// AfterFunc schedules f to run at Now()+d. If d <= 0 the callback
+	// runs at the current time (virtual) or as soon as possible (real).
+	// The returned Timer can cancel the callback before it fires.
+	AfterFunc(d time.Duration, f func()) *Timer
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	stop func() bool
+}
+
+// Stop cancels the pending callback. It reports whether the call
+// prevented the callback from firing; it returns false if the callback
+// already ran or was already stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stop == nil {
+		return false
+	}
+	s := t.stop
+	t.stop = nil
+	return s()
+}

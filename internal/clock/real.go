@@ -1,0 +1,20 @@
+package clock
+
+import "time"
+
+// Real is a Clock backed by the wall clock. Callbacks run on their own
+// goroutines, exactly as with time.AfterFunc. It is the clock used by
+// cmd/solagent when running against a live node.
+type Real struct{}
+
+// NewReal returns the wall-clock Clock.
+func NewReal() *Real { return &Real{} }
+
+// Now returns the current wall-clock time.
+func (*Real) Now() time.Time { return time.Now() }
+
+// AfterFunc schedules f on the wall clock via time.AfterFunc.
+func (*Real) AfterFunc(d time.Duration, f func()) *Timer {
+	t := time.AfterFunc(d, f)
+	return &Timer{stop: t.Stop}
+}

@@ -1,0 +1,183 @@
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic discrete-event clock. Events scheduled
+// with AfterFunc fire in (time, insertion-order) order when the owner
+// calls Run, RunFor, RunUntilIdle, or Step. Callbacks run on the
+// goroutine that drives the clock; they may schedule further events.
+//
+// Virtual is safe for concurrent use, but deterministic execution is
+// only guaranteed when a single goroutine drives it, which is how every
+// experiment in this repository runs.
+type Virtual struct {
+	mu    sync.Mutex
+	now   time.Time
+	seq   uint64
+	queue eventHeap
+	// fired counts callbacks executed, for diagnostics and tests.
+	fired uint64
+}
+
+type event struct {
+	at      time.Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NewVirtual returns a Virtual clock whose current time is start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the clock's current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc schedules f at Now()+d. Negative d is treated as zero.
+func (v *Virtual) AfterFunc(d time.Duration, f func()) *Timer {
+	if f == nil {
+		panic("clock: AfterFunc with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	e := &event{at: v.now.Add(d), seq: v.seq, fn: f}
+	v.seq++
+	heap.Push(&v.queue, e)
+	v.mu.Unlock()
+	return &Timer{stop: func() bool {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		if e.stopped || e.index < 0 {
+			return false
+		}
+		e.stopped = true
+		heap.Remove(&v.queue, e.index)
+		e.index = -1
+		return true
+	}}
+}
+
+// Len returns the number of pending events.
+func (v *Virtual) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.queue.Len()
+}
+
+// Fired returns the number of callbacks executed so far.
+func (v *Virtual) Fired() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.fired
+}
+
+// Step executes the single earliest pending event, advancing the clock
+// to its timestamp. It reports whether an event was executed.
+func (v *Virtual) Step() bool {
+	v.mu.Lock()
+	if v.queue.Len() == 0 {
+		v.mu.Unlock()
+		return false
+	}
+	e := heap.Pop(&v.queue).(*event)
+	e.index = -1
+	if e.at.After(v.now) {
+		v.now = e.at
+	}
+	v.fired++
+	v.mu.Unlock()
+	e.fn()
+	return true
+}
+
+// Run executes events in order until the clock reaches deadline. Events
+// scheduled exactly at the deadline are executed; the clock's time is
+// set to deadline when Run returns. It returns the number of events
+// executed.
+func (v *Virtual) Run(deadline time.Time) int {
+	n := 0
+	for {
+		v.mu.Lock()
+		if v.queue.Len() == 0 || v.queue[0].at.After(deadline) {
+			if deadline.After(v.now) {
+				v.now = deadline
+			}
+			v.mu.Unlock()
+			return n
+		}
+		e := heap.Pop(&v.queue).(*event)
+		e.index = -1
+		if e.at.After(v.now) {
+			v.now = e.at
+		}
+		v.fired++
+		v.mu.Unlock()
+		e.fn()
+		n++
+	}
+}
+
+// RunFor runs events for a virtual duration d from the current time.
+func (v *Virtual) RunFor(d time.Duration) int {
+	return v.Run(v.Now().Add(d))
+}
+
+// RunUntilIdle executes events until the queue is empty or maxEvents
+// callbacks have run. It returns the number executed. A maxEvents cap
+// guards against runaway self-rescheduling loops in tests.
+func (v *Virtual) RunUntilIdle(maxEvents int) int {
+	n := 0
+	for n < maxEvents && v.Step() {
+		n++
+	}
+	return n
+}
+
+// String describes the clock state, for debugging.
+func (v *Virtual) String() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return fmt.Sprintf("virtual clock at %s, %d pending, %d fired",
+		v.now.Format(time.RFC3339Nano), v.queue.Len(), v.fired)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/stats"
+)
+
+// chaosModel behaves randomly-but-deterministically: collect errors,
+// invalid samples, predict errors, and flapping assessments, driven by
+// a seeded RNG. The properties below must hold for ANY such behaviour.
+type chaosModel struct {
+	clk *clock.Virtual
+	rng *stats.RNG
+}
+
+func (m *chaosModel) CollectData() (int, error) {
+	if m.rng.Bool(0.1) {
+		return 0, errors.New("collect error")
+	}
+	if m.rng.Bool(0.2) {
+		return -1, nil // invalid
+	}
+	return 1, nil
+}
+
+func (m *chaosModel) ValidateData(v int) error {
+	if v < 0 {
+		return errors.New("invalid")
+	}
+	return nil
+}
+
+func (m *chaosModel) CommitData(time.Time, int) {}
+func (m *chaosModel) UpdateModel()              {}
+
+func (m *chaosModel) Predict() (Prediction[int], error) {
+	if m.rng.Bool(0.1) {
+		return Prediction[int]{}, errors.New("predict error")
+	}
+	return Prediction[int]{Value: 1, Expires: m.clk.Now().Add(time.Second)}, nil
+}
+
+func (m *chaosModel) DefaultPredict() Prediction[int] {
+	return Prediction[int]{Value: 0, Expires: m.clk.Now().Add(time.Second)}
+}
+
+func (m *chaosModel) AssessModel() bool { return m.rng.Bool(0.7) }
+
+type chaosActuator struct {
+	rng     *stats.RNG
+	actions int
+	cleaned int
+}
+
+func (a *chaosActuator) TakeAction(*Prediction[int]) { a.actions++ }
+func (a *chaosActuator) AssessPerformance() bool     { return a.rng.Bool(0.8) }
+func (a *chaosActuator) Mitigate()                   {}
+func (a *chaosActuator) CleanUp()                    { a.cleaned++ }
+
+// TestRuntimeInvariantsProperty checks the runtime's accounting
+// invariants under randomized model/actuator behaviour and randomized
+// (valid) schedules:
+//
+//  1. every collected sample is either committed, rejected, or errored;
+//  2. every issued prediction is model-learned or default, and every
+//     action is on-model, on-default, or without prediction;
+//  3. safeguard triggers and resumes alternate (triggers >= resumes,
+//     difference at most 1);
+//  4. mitigations equal actuator-safeguard triggers;
+//  5. CleanUp runs exactly once per Stop.
+func TestRuntimeInvariantsProperty(t *testing.T) {
+	prop := func(seed uint64, dpe, interval, maxDelayS uint8) bool {
+		sched := Schedule{
+			DataPerEpoch:           int(dpe%20) + 1,
+			DataCollectInterval:    time.Duration(int(interval%50)+1) * time.Millisecond,
+			MaxEpochTime:           2 * time.Second,
+			AssessModelEvery:       1,
+			MaxActuationDelay:      time.Duration(int(maxDelayS%3)+1) * time.Second,
+			AssessActuatorInterval: 500 * time.Millisecond,
+		}
+		clk := clock.NewVirtual(epoch)
+		rng := stats.NewRNG(seed)
+		m := &chaosModel{clk: clk, rng: rng.Split()}
+		a := &chaosActuator{rng: rng.Split()}
+		rt, err := Run[int, int](clk, m, a, sched, Options{})
+		if err != nil {
+			return false
+		}
+		clk.RunFor(time.Minute)
+		st := rt.Stats()
+		rt.Stop()
+		rt.Stop()
+
+		if st.DataCollected != st.DataCommitted+st.DataRejected+st.CollectErrors {
+			return false
+		}
+		if st.PredictionsIssued != st.DefaultPredictions+(st.PredictionsIssued-st.DefaultPredictions) ||
+			st.DefaultPredictions > st.PredictionsIssued {
+			return false
+		}
+		if st.Actions != st.ActionsOnModel+st.ActionsOnDefault+st.ActionsWithoutPrediction {
+			return false
+		}
+		if st.ActuatorSafeguardTriggers < st.ActuatorResumes ||
+			st.ActuatorSafeguardTriggers-st.ActuatorResumes > 1 {
+			return false
+		}
+		if st.Mitigations != st.ActuatorSafeguardTriggers {
+			return false
+		}
+		if a.cleaned != 1 {
+			return false
+		}
+		// The actuator must have acted at least once per deadline window
+		// while not halted; with random halts we only require progress.
+		return st.Actions > 0 && st.PredictionsIssued > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActuationDeadlineProperty: while the actuator is never halted,
+// the gap between consecutive actions never exceeds MaxActuationDelay
+// (plus one scheduling grain) — the paper's upper bound on the time
+// between control actions.
+func TestActuationDeadlineProperty(t *testing.T) {
+	prop := func(seed uint64, maxDelayMS uint16) bool {
+		maxDelay := time.Duration(int(maxDelayMS%900)+100) * time.Millisecond
+		sched := Schedule{
+			DataPerEpoch:        5,
+			DataCollectInterval: 20 * time.Millisecond,
+			MaxEpochTime:        500 * time.Millisecond,
+			AssessModelEvery:    1,
+			MaxActuationDelay:   maxDelay,
+			// No actuator safeguard: it never halts.
+			AssessActuatorInterval: 0,
+		}
+		clk := clock.NewVirtual(epoch)
+		rng := stats.NewRNG(seed)
+		m := &chaosModel{clk: clk, rng: rng.Split()}
+		var gaps []time.Duration
+		var last time.Time
+		a := &recordingActuator{onAction: func() {
+			now := clk.Now()
+			if !last.IsZero() {
+				gaps = append(gaps, now.Sub(last))
+			}
+			last = now
+		}}
+		rt, err := Run[int, int](clk, m, a, sched, Options{})
+		if err != nil {
+			return false
+		}
+		clk.RunFor(30 * time.Second)
+		rt.Stop()
+		for _, g := range gaps {
+			if g > maxDelay+time.Millisecond {
+				return false
+			}
+		}
+		return len(gaps) > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type recordingActuator struct {
+	onAction func()
+}
+
+func (r *recordingActuator) TakeAction(*Prediction[int]) { r.onAction() }
+func (r *recordingActuator) AssessPerformance() bool     { return true }
+func (r *recordingActuator) Mitigate()                   {}
+func (r *recordingActuator) CleanUp()                    {}

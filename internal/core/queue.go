@@ -1,0 +1,57 @@
+package core
+
+import "time"
+
+// predQueue is the bounded prediction queue between the Model and
+// Actuator loops. When full, pushing drops the oldest entry (stale
+// predictions are worth less than fresh ones). The Actuator consumes
+// the newest unexpired prediction and discards the rest.
+//
+// The queue is only ever touched from runtime callbacks; on the virtual
+// clock those run on one goroutine, and on the real clock the runtime
+// serializes access with its own mutex, so the queue itself is plain.
+type predQueue[P any] struct {
+	buf []Prediction[P]
+	cap int
+	// dropped counts predictions evicted by overflow.
+	dropped uint64
+	// expired counts predictions discarded because they expired before
+	// consumption.
+	expired uint64
+}
+
+func newPredQueue[P any](capacity int) *predQueue[P] {
+	return &predQueue[P]{cap: capacity}
+}
+
+func (q *predQueue[P]) push(p Prediction[P]) {
+	if len(q.buf) == q.cap {
+		q.buf = q.buf[1:]
+		q.dropped++
+	}
+	q.buf = append(q.buf, p)
+}
+
+func (q *predQueue[P]) len() int { return len(q.buf) }
+
+// takeFreshest removes all queued predictions and returns the most
+// recently pushed one that has not expired at time now, or nil if none
+// qualifies. Skipped-over and expired entries are counted.
+func (q *predQueue[P]) takeFreshest(now time.Time) *Prediction[P] {
+	var out *Prediction[P]
+	for i := len(q.buf) - 1; i >= 0; i-- {
+		p := q.buf[i]
+		if out == nil && !p.Expired(now) {
+			cp := p
+			out = &cp
+			continue
+		}
+		if p.Expired(now) {
+			q.expired++
+		} else {
+			q.dropped++
+		}
+	}
+	q.buf = q.buf[:0]
+	return out
+}

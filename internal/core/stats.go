@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats counts everything the runtime did. The counters give operators
+// (and the evaluation harness) visibility into which safeguards fired
+// and how often the agent acted with, without, or against model
+// predictions.
+type Stats struct {
+	StartedAt time.Time
+	StoppedAt time.Time
+
+	// Model loop.
+	DataCollected          uint64 // CollectData calls
+	CollectErrors          uint64 // CollectData returned an error
+	DataRejected           uint64 // ValidateData rejected the sample
+	DataCommitted          uint64 // samples committed to the model
+	ModelUpdates           uint64 // UpdateModel calls
+	PredictErrors          uint64 // Predict returned an error
+	EpochShortCircuits     uint64 // epochs ended by MaxEpochTime
+	ModelAssessments       uint64 // AssessModel calls
+	ModelSafeguardTriggers uint64 // healthy -> failing transitions
+	PredictionsIntercepted uint64 // learned predictions replaced by defaults
+	PredictionsIssued      uint64 // predictions queued to the actuator
+	DefaultPredictions     uint64 // of which defaults
+	ScheduleViolations     uint64 // model steps that ran late
+
+	// Queue.
+	PredictionsExpired uint64 // discarded at consumption: expired
+	PredictionsDropped uint64 // discarded: overflow or superseded
+
+	// Actuator loop.
+	Actions                   uint64 // TakeAction calls
+	ActionsOnModel            uint64 // with a learned prediction
+	ActionsOnDefault          uint64 // with a default prediction
+	ActionsWithoutPrediction  uint64 // with nil (no fresh prediction)
+	BlockedDeadlines          uint64 // deadlines skipped in Blocking mode
+	ActuatorAssessments       uint64 // AssessPerformance calls
+	ActuatorSafeguardTriggers uint64 // acceptable -> unacceptable transitions
+	Mitigations               uint64 // Mitigate calls
+	ActuatorResumes           uint64 // safeguard released the halt
+}
+
+// String renders the counters as a compact multi-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model: collected=%d errors=%d rejected=%d committed=%d updates=%d\n",
+		s.DataCollected, s.CollectErrors, s.DataRejected, s.DataCommitted, s.ModelUpdates)
+	fmt.Fprintf(&b, "epochs: issued=%d default=%d shortcircuit=%d intercepted=%d violations=%d\n",
+		s.PredictionsIssued, s.DefaultPredictions, s.EpochShortCircuits, s.PredictionsIntercepted, s.ScheduleViolations)
+	fmt.Fprintf(&b, "safeguards: model-triggers=%d actuator-triggers=%d mitigations=%d resumes=%d\n",
+		s.ModelSafeguardTriggers, s.ActuatorSafeguardTriggers, s.Mitigations, s.ActuatorResumes)
+	fmt.Fprintf(&b, "actuator: actions=%d on-model=%d on-default=%d no-pred=%d blocked=%d",
+		s.Actions, s.ActionsOnModel, s.ActionsOnDefault, s.ActionsWithoutPrediction, s.BlockedDeadlines)
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests run every experiment at Quick scale and assert the
+// paper's qualitative shapes: who wins, in which direction, and by a
+// material factor. Absolute values are asserted only loosely — the
+// point is that the reproduction's conclusions match the paper's.
+
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	r, err := Run(id, Quick)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", id, err)
+	}
+	if r.ID != id || r.Title == "" || len(r.Rows) == 0 {
+		t.Fatalf("Run(%q) returned incomplete result: %+v", id, r)
+	}
+	return r
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(ids))
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Fatalf("experiment %q has no title", id)
+		}
+	}
+	if _, err := Run("nope", Quick); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(Title("fig3"), "safeguard") {
+		t.Fatalf("fig3 title = %q", Title("fig3"))
+	}
+}
+
+func TestTable1(t *testing.T) {
+	t.Parallel()
+	r := run(t, "table1")
+	if r.Metrics["total_agents"] != 77 {
+		t.Fatalf("total agents = %v, want 77", r.Metrics["total_agents"])
+	}
+	if f := r.Metrics["benefit_fraction"]; f < 0.34 || f > 0.36 {
+		t.Fatalf("benefit fraction = %v, want ~0.35", f)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	t.Parallel()
+	r := run(t, "table2")
+	if r.Metrics["rows"] != 6 {
+		t.Fatalf("rows = %v, want 6", r.Metrics["rows"])
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig1")
+	m := r.Metrics
+	// Synthetic: SmartOverclock beats nominal on performance at a
+	// fraction of static-2.3's power.
+	if m["Synthetic/SmartOverclock/perf"] < 1.10 {
+		t.Fatalf("Synthetic smart perf = %v, want > 1.10", m["Synthetic/SmartOverclock/perf"])
+	}
+	if m["Synthetic/SmartOverclock/power"] > m["Synthetic/static-2.3GHz/power"]/1.8 {
+		t.Fatalf("Synthetic smart power %v not well below static-2.3 %v",
+			m["Synthetic/SmartOverclock/power"], m["Synthetic/static-2.3GHz/power"])
+	}
+	// ObjectStore always benefits: smart tracks static-2.3 performance.
+	if m["ObjectStore/SmartOverclock/perf"] < 0.8*m["ObjectStore/static-2.3GHz/perf"] {
+		t.Fatalf("ObjectStore smart perf %v far below static-2.3 %v",
+			m["ObjectStore/SmartOverclock/perf"], m["ObjectStore/static-2.3GHz/perf"])
+	}
+	// DiskSpeed gains nothing: smart must stay near nominal power.
+	if m["DiskSpeed/SmartOverclock/power"] > 1.3 {
+		t.Fatalf("DiskSpeed smart power = %v, want near nominal", m["DiskSpeed/SmartOverclock/power"])
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig2")
+	m := r.Metrics
+	// With validation, even 25% bad data stays near ideal power.
+	if m["with-validation/0.25/power"] > 1.30 {
+		t.Fatalf("validated 25%%-bad power = %v, want near 1.0", m["with-validation/0.25/power"])
+	}
+	// Without validation, 5% bad data visibly degrades behaviour.
+	if m["without-validation/0.05/power"] < 1.25 {
+		t.Fatalf("unvalidated 5%%-bad power = %v, want clearly inflated", m["without-validation/0.05/power"])
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig3")
+	m := r.Metrics
+	without := m["DiskSpeed/without-safeguard/power_increase"]
+	with := m["DiskSpeed/with-safeguard/power_increase"]
+	if without < 1.5 {
+		t.Fatalf("unchecked broken model on DiskSpeed: +%.0f%% power, want > +150%%", 100*without)
+	}
+	if with > without/3 {
+		t.Fatalf("model safeguard only cut power increase from %.2f to %.2f", without, with)
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig4")
+	m := r.Metrics
+	if m["blocking/extra_power"] < 1.5*m["non-blocking/extra_power"] {
+		t.Fatalf("blocking extra power %.2f not well above non-blocking %.2f",
+			m["blocking/extra_power"], m["non-blocking/extra_power"])
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig5")
+	m := r.Metrics
+	if m["with-safeguard/idle_power"] >= m["without-safeguard/idle_power"] {
+		t.Fatal("actuator safeguard did not reduce idle power")
+	}
+	if m["with-safeguard/mitigations"] == 0 {
+		t.Fatal("actuator safeguard never triggered during long idle")
+	}
+	if m["with-safeguard/idle_overclocked_frac"] >= m["without-safeguard/idle_overclocked_frac"] {
+		t.Fatal("safeguard did not reduce idle overclocking")
+	}
+}
+
+func TestFig6DataShapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig6data")
+	m := r.Metrics
+	for _, wl := range []string{"image-dnn", "moses"} {
+		with := m[wl+"/with-validation/p99_increase"]
+		without := m[wl+"/without-validation/p99_increase"]
+		if with > 0.15 {
+			t.Fatalf("%s: validated P99 increase %.2f, want small", wl, with)
+		}
+		if without < 3*with+0.2 {
+			t.Fatalf("%s: unvalidated increase %.2f not well above validated %.2f", wl, without, with)
+		}
+	}
+}
+
+func TestFig6ModelShapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig6model")
+	m := r.Metrics
+	for _, wl := range []string{"image-dnn", "moses"} {
+		with := m[wl+"/with-safeguard/p99_increase"]
+		without := m[wl+"/without-safeguard/p99_increase"]
+		// Paper: the model safeguard reduces impact by up to 4x.
+		if without < 2*with {
+			t.Fatalf("%s: safeguard reduction only %.2f -> %.2f", wl, without, with)
+		}
+	}
+}
+
+func TestFig6DelayShapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig6delay")
+	m := r.Metrics
+	for _, wl := range []string{"image-dnn", "moses"} {
+		blocking := m[wl+"/blocking/p99_increase"]
+		nonblocking := m[wl+"/non-blocking/p99_increase"]
+		// Paper: non-blocking reduces impact by up to 3x.
+		if blocking < 2*nonblocking {
+			t.Fatalf("%s: blocking %.2f vs non-blocking %.2f", wl, blocking, nonblocking)
+		}
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig7")
+	m := r.Metrics
+	for _, tr := range []string{"ObjectStore", "SQL", "SpecJBB"} {
+		// SmartMemory scans less than max-rate scanning...
+		if m[tr+"/SmartMemory/scan_reduction"] <= 0.03 {
+			t.Fatalf("%s: scan reduction %.2f, want > 3%%", tr, m[tr+"/SmartMemory/scan_reduction"])
+		}
+		// ...while holding the SLO like max-rate does.
+		if m[tr+"/SmartMemory/slo_attainment"] < 0.90 {
+			t.Fatalf("%s: SmartMemory SLO attainment %.2f", tr, m[tr+"/SmartMemory/slo_attainment"])
+		}
+		// And offloads some memory.
+		if m[tr+"/SmartMemory/local_mem_frac"] > 0.9 {
+			t.Fatalf("%s: local memory %.2f, want < 0.9", tr, m[tr+"/SmartMemory/local_mem_frac"])
+		}
+	}
+	// The min-rate baseline loses the SLO on the flattest workload.
+	if m["SpecJBB/scan-min-9.6s/slo_attainment"] > 0.9 {
+		t.Fatalf("min-rate SpecJBB attainment %.2f, want a visible collapse",
+			m["SpecJBB/scan-min-9.6s/slo_attainment"])
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig8")
+	m := r.Metrics
+	none := m["no-safeguards/slo_attainment"]
+	all := m["all-safeguards/slo_attainment"]
+	if all < none+0.15 {
+		t.Fatalf("all-safeguards %.2f not well above no-safeguards %.2f", all, none)
+	}
+	if all < 0.85 {
+		t.Fatalf("all-safeguards attainment %.2f, want >= 0.85 (paper: 90%%)", all)
+	}
+	if none > 0.85 {
+		t.Fatalf("no-safeguards attainment %.2f, want visibly degraded (paper: 66%%)", none)
+	}
+	if m["all-safeguards/mitigations"] == 0 {
+		t.Fatal("actuator safeguard never fired on the oscillating workload")
+	}
+}
+
+func TestAblationEpsilon(t *testing.T) {
+	t.Parallel()
+	r := run(t, "ablation-epsilon")
+	if len(r.Metrics) < 10 {
+		t.Fatalf("epsilon ablation produced %d metrics", len(r.Metrics))
+	}
+}
+
+func TestAblationQueue(t *testing.T) {
+	t.Parallel()
+	r := run(t, "ablation-queue")
+	// The design point: queue capacity does not affect QoS because the
+	// actuator always consumes the freshest prediction.
+	p1 := r.Metrics["cap=1/p99_ms"]
+	p16 := r.Metrics["cap=16/p99_ms"]
+	if p1 == 0 || p16 == 0 {
+		t.Fatal("missing P99 metrics")
+	}
+	if p16 > p1*1.5 || p1 > p16*1.5 {
+		t.Fatalf("queue capacity changed P99 materially: %v vs %v", p1, p16)
+	}
+}
+
+func TestExtSamplerShapes(t *testing.T) {
+	t.Parallel()
+	r := run(t, "ext-sampler")
+	m := r.Metrics
+	if m["SmartSampler/coverage"] <= m["static-round-robin/coverage"] {
+		t.Fatalf("learned coverage %.3f not above round-robin %.3f",
+			m["SmartSampler/coverage"], m["static-round-robin/coverage"])
+	}
+	if m["SmartSampler/overruns"] != 0 {
+		t.Fatalf("agent overran its logging budget %v times", m["SmartSampler/overruns"])
+	}
+	// The broken model loses the learned advantage but the audit
+	// safeguard's defaults keep it at or above the round-robin floor.
+	if m["SmartSampler-broken/coverage"] >= m["SmartSampler/coverage"] {
+		t.Fatal("broken agent did not lose coverage")
+	}
+	if m["SmartSampler-broken/coverage"] < 0.9*m["static-round-robin/coverage"] {
+		t.Fatalf("broken agent coverage %.3f collapsed below the round-robin floor %.3f",
+			m["SmartSampler-broken/coverage"], m["static-round-robin/coverage"])
+	}
+}
+
+func TestResultString(t *testing.T) {
+	t.Parallel()
+	r := run(t, "table1")
+	out := r.String()
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "Watchdogs") {
+		t.Fatalf("Result.String() incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+
+	"sol/internal/taxonomy"
+)
+
+func runTable1(Scale) (*Result, error) {
+	r := &Result{}
+	for _, line := range strings.Split(strings.TrimRight(taxonomy.RenderTable1(), "\n"), "\n") {
+		r.addf("%s", line)
+	}
+	r.metric("total_agents", float64(taxonomy.TotalAgents()))
+	r.metric("benefit_agents", float64(taxonomy.BenefitCount()))
+	r.metric("benefit_fraction", taxonomy.BenefitFraction())
+	return r, nil
+}
+
+func runTable2(Scale) (*Result, error) {
+	r := &Result{}
+	for _, line := range strings.Split(strings.TrimRight(taxonomy.RenderTable2(), "\n"), "\n") {
+		r.addf("%s", line)
+	}
+	r.metric("rows", float64(len(taxonomy.Table2())))
+	return r, nil
+}

@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBadDataRate(t *testing.T) {
+	b := NewBadData(0.25, 100, 1)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v, hit := b.Corrupt(50)
+		if hit {
+			hits++
+			if v >= 0 && v <= 100 {
+				t.Fatalf("corrupted value %v is in valid range [0,100]", v)
+			}
+		} else if v != 50 {
+			t.Fatalf("uncorrupted value changed: %v", v)
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("corruption rate = %v, want ~0.25", frac)
+	}
+	if b.Injected() != uint64(hits) {
+		t.Fatal("Injected() mismatch")
+	}
+}
+
+func TestBadDataZeroProbability(t *testing.T) {
+	b := NewBadData(0, 100, 1)
+	for i := 0; i < 1000; i++ {
+		if _, hit := b.Corrupt(1); hit {
+			t.Fatal("p=0 injector corrupted a value")
+		}
+	}
+}
+
+func TestBadDataBothDirections(t *testing.T) {
+	b := NewBadData(1, 100, 2)
+	low, high := false, false
+	for i := 0; i < 100; i++ {
+		v, _ := b.Corrupt(50)
+		if v < 0 {
+			low = true
+		}
+		if v > 100 {
+			high = true
+		}
+	}
+	if !low || !high {
+		t.Fatal("corruption should produce both below-range and above-range values")
+	}
+}
+
+func TestDelayOneShot(t *testing.T) {
+	d := NewDelay()
+	if got := d.ModelDelay(epoch); got != 0 {
+		t.Fatalf("unarmed delay = %v", got)
+	}
+	d.Trigger(30 * time.Second)
+	if got := d.ModelDelay(epoch); got != 30*time.Second {
+		t.Fatalf("armed delay = %v, want 30s", got)
+	}
+	if got := d.ModelDelay(epoch); got != 0 {
+		t.Fatalf("delay not consumed: %v", got)
+	}
+	if d.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", d.Fired())
+	}
+}
+
+func TestDelayKeepsLargest(t *testing.T) {
+	d := NewDelay()
+	d.Trigger(10 * time.Second)
+	d.Trigger(5 * time.Second) // smaller must not shrink pending
+	if got := d.ModelDelay(epoch); got != 10*time.Second {
+		t.Fatalf("delay = %v, want 10s", got)
+	}
+}
+
+func TestPeriodicDelayWindow(t *testing.T) {
+	p := &PeriodicDelay{From: epoch.Add(10 * time.Second), Until: epoch.Add(20 * time.Second), D: time.Second}
+	if p.ModelDelay(epoch) != 0 {
+		t.Fatal("delay before window")
+	}
+	if p.ModelDelay(epoch.Add(15*time.Second)) != time.Second {
+		t.Fatal("no delay inside window")
+	}
+	if p.ModelDelay(epoch.Add(10*time.Second)) != time.Second {
+		t.Fatal("window start should be inclusive")
+	}
+	if p.ModelDelay(epoch.Add(20*time.Second)) != 0 {
+		t.Fatal("window end should be exclusive")
+	}
+}
+
+func TestScanFault(t *testing.T) {
+	sentinel := errors.New("scan failed")
+	s := NewScanFault(1, sentinel, 1)
+	if err := s.Fault(3); !errors.Is(err, sentinel) {
+		t.Fatalf("Fault = %v, want sentinel", err)
+	}
+	if s.Injected() != 1 {
+		t.Fatal("Injected() wrong")
+	}
+	s2 := NewScanFault(0, sentinel, 1)
+	for i := 0; i < 100; i++ {
+		if s2.Fault(i) != nil {
+			t.Fatal("p=0 scan fault fired")
+		}
+	}
+}

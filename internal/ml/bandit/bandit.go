@@ -1,0 +1,124 @@
+// Package bandit implements Beta-Bernoulli Thompson sampling, the
+// multi-armed bandit algorithm used by the SmartMemory agent (§5.3 of
+// the SOL paper) to pick a page-access-bit scanning frequency for each
+// 2 MB memory region.
+//
+// Each arm keeps a Beta posterior over its probability of being the
+// "right" choice; selection samples from every posterior and plays the
+// arm with the largest draw, which naturally balances exploration and
+// exploitation.
+package bandit
+
+import (
+	"fmt"
+
+	"sol/internal/stats"
+)
+
+// Thompson is a Beta-Bernoulli Thompson-sampling bandit over a fixed
+// set of arms. It is not safe for concurrent use.
+type Thompson struct {
+	arms  []stats.Beta
+	rng   *stats.RNG
+	plays []uint64
+}
+
+// New returns a bandit with arms arms, each starting from a Beta(1,1)
+// (uniform) prior, using rng for posterior sampling.
+func New(arms int, rng *stats.RNG) (*Thompson, error) {
+	if arms <= 0 {
+		return nil, fmt.Errorf("bandit: arms = %d, must be positive", arms)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("bandit: nil RNG")
+	}
+	t := &Thompson{
+		arms:  make([]stats.Beta, arms),
+		rng:   rng,
+		plays: make([]uint64, arms),
+	}
+	for i := range t.arms {
+		t.arms[i] = stats.Beta{Alpha: 1, Beta: 1}
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(arms int, rng *stats.RNG) *Thompson {
+	t, err := New(arms, rng)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Arms returns the number of arms.
+func (t *Thompson) Arms() int { return len(t.arms) }
+
+// Select draws one sample from each arm's posterior and returns the arm
+// with the largest draw.
+func (t *Thompson) Select() int {
+	best, bestV := 0, -1.0
+	for i := range t.arms {
+		if v := t.arms[i].Sample(t.rng); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	t.plays[best]++
+	return best
+}
+
+// Reward records the outcome of playing arm: success updates Alpha,
+// failure updates Beta.
+func (t *Thompson) Reward(arm int, success bool) {
+	if success {
+		t.arms[arm].Alpha++
+	} else {
+		t.arms[arm].Beta++
+	}
+}
+
+// Posterior returns the current Beta posterior of arm.
+func (t *Thompson) Posterior(arm int) stats.Beta { return t.arms[arm] }
+
+// Plays returns how many times arm has been selected.
+func (t *Thompson) Plays(arm int) uint64 { return t.plays[arm] }
+
+// Mean returns the posterior mean of arm.
+func (t *Thompson) Mean(arm int) float64 { return t.arms[arm].Mean() }
+
+// BestMean returns the arm with the highest posterior mean. It is the
+// pure-exploitation readout used when reporting learned state.
+func (t *Thompson) BestMean() int {
+	best, bestV := 0, t.arms[0].Mean()
+	for i := 1; i < len(t.arms); i++ {
+		if v := t.arms[i].Mean(); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Reset restores every arm to the uniform prior.
+func (t *Thompson) Reset() {
+	for i := range t.arms {
+		t.arms[i] = stats.Beta{Alpha: 1, Beta: 1}
+		t.plays[i] = 0
+	}
+}
+
+// Decay multiplies all posterior counts toward the prior by factor
+// gamma in (0,1], implementing exponential forgetting. SmartMemory uses
+// this so regions can re-learn after workload phase changes; without
+// forgetting, an arm with thousands of historical successes would take
+// thousands of failures to abandon.
+func (t *Thompson) Decay(gamma float64) {
+	if gamma <= 0 || gamma > 1 {
+		panic("bandit: decay factor out of (0,1]")
+	}
+	for i := range t.arms {
+		a := &t.arms[i]
+		a.Alpha = 1 + (a.Alpha-1)*gamma
+		a.Beta = 1 + (a.Beta-1)*gamma
+	}
+}

@@ -1,0 +1,169 @@
+package bandit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sol/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, stats.NewRNG(1)); err == nil {
+		t.Fatal("arms=0 accepted")
+	}
+	if _, err := New(3, nil); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+	if _, err := New(3, stats.NewRNG(1)); err != nil {
+		t.Fatalf("valid bandit rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNew(0, nil)
+}
+
+func TestUniformPrior(t *testing.T) {
+	b := MustNew(4, stats.NewRNG(1))
+	for i := 0; i < 4; i++ {
+		if b.Mean(i) != 0.5 {
+			t.Fatalf("arm %d prior mean = %v, want 0.5", i, b.Mean(i))
+		}
+	}
+}
+
+func TestConvergesToBestArm(t *testing.T) {
+	rng := stats.NewRNG(7)
+	b := MustNew(3, rng.Split())
+	// Arm payoffs: 0.2, 0.5, 0.9.
+	pay := []float64{0.2, 0.5, 0.9}
+	for i := 0; i < 3000; i++ {
+		a := b.Select()
+		b.Reward(a, rng.Bool(pay[a]))
+	}
+	if b.BestMean() != 2 {
+		t.Fatalf("BestMean = %d, want 2", b.BestMean())
+	}
+	// The best arm should dominate the plays after convergence.
+	if b.Plays(2) < b.Plays(0)+b.Plays(1) {
+		t.Fatalf("best arm played %d times vs %d+%d for the rest",
+			b.Plays(2), b.Plays(0), b.Plays(1))
+	}
+}
+
+func TestRewardUpdatesPosterior(t *testing.T) {
+	b := MustNew(2, stats.NewRNG(1))
+	b.Reward(0, true)
+	b.Reward(0, true)
+	b.Reward(0, false)
+	p := b.Posterior(0)
+	if p.Alpha != 3 || p.Beta != 2 {
+		t.Fatalf("posterior = Beta(%v,%v), want Beta(3,2)", p.Alpha, p.Beta)
+	}
+	if got := b.Mean(0); got != 0.6 {
+		t.Fatalf("mean = %v, want 0.6", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := MustNew(2, stats.NewRNG(1))
+	b.Select()
+	b.Reward(0, true)
+	b.Reset()
+	if b.Mean(0) != 0.5 || b.Plays(0) != 0 {
+		t.Fatal("Reset did not restore prior")
+	}
+}
+
+func TestDecayMovesTowardPrior(t *testing.T) {
+	b := MustNew(1, stats.NewRNG(1))
+	for i := 0; i < 100; i++ {
+		b.Reward(0, true)
+	}
+	before := b.Posterior(0)
+	b.Decay(0.5)
+	after := b.Posterior(0)
+	if after.Alpha >= before.Alpha {
+		t.Fatalf("Decay did not shrink Alpha: %v -> %v", before.Alpha, after.Alpha)
+	}
+	if after.Alpha < 1 || after.Beta < 1 {
+		t.Fatalf("Decay went below the prior: Beta(%v,%v)", after.Alpha, after.Beta)
+	}
+}
+
+func TestDecayPanics(t *testing.T) {
+	b := MustNew(1, stats.NewRNG(1))
+	for _, g := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Decay(%v) did not panic", g)
+				}
+			}()
+			b.Decay(g)
+		}()
+	}
+}
+
+func TestDecayOneIsIdentity(t *testing.T) {
+	b := MustNew(1, stats.NewRNG(1))
+	b.Reward(0, true)
+	before := b.Posterior(0)
+	b.Decay(1)
+	if b.Posterior(0) != before {
+		t.Fatal("Decay(1) changed the posterior")
+	}
+}
+
+// Property: Select always returns a valid arm and total plays equal the
+// number of Select calls.
+func TestSelectAccountingProperty(t *testing.T) {
+	prop := func(seed uint64, n8 uint8) bool {
+		b := MustNew(5, stats.NewRNG(seed))
+		n := int(n8)%100 + 1
+		for i := 0; i < n; i++ {
+			a := b.Select()
+			if a < 0 || a >= 5 {
+				return false
+			}
+		}
+		var total uint64
+		for i := 0; i < 5; i++ {
+			total += b.Plays(i)
+		}
+		return total == uint64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: posterior counts never drop below the Beta(1,1) prior under
+// any sequence of rewards and decays.
+func TestPosteriorFloorProperty(t *testing.T) {
+	prop := func(seed uint64, ops []bool) bool {
+		rng := stats.NewRNG(seed)
+		b := MustNew(2, rng.Split())
+		for _, success := range ops {
+			b.Reward(rng.Intn(2), success)
+			if rng.Bool(0.3) {
+				b.Decay(0.9)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			p := b.Posterior(i)
+			if p.Alpha < 1 || p.Beta < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package qlearn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func validCfg() Config {
+	return Config{States: 4, Actions: 3, Alpha: 0.3, Gamma: 0.9, Epsilon: 0.1, RandSeed: 1}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.States = 0 },
+		func(c *Config) { c.Actions = 0 },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 1.5 },
+		func(c *Config) { c.Gamma = 1 },
+		func(c *Config) { c.Gamma = -0.1 },
+		func(c *Config) { c.Epsilon = -0.1 },
+		func(c *Config) { c.Epsilon = 1.1 },
+	}
+	for i, mut := range cases {
+		cfg := validCfg()
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(validCfg()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestInitQ(t *testing.T) {
+	cfg := validCfg()
+	cfg.InitQ = 2.5
+	l := MustNew(cfg)
+	for s := 0; s < cfg.States; s++ {
+		for a := 0; a < cfg.Actions; a++ {
+			if l.Q(s, a) != 2.5 {
+				t.Fatalf("Q(%d,%d) = %v, want 2.5", s, a, l.Q(s, a))
+			}
+		}
+	}
+}
+
+func TestUpdateMovesTowardTarget(t *testing.T) {
+	cfg := validCfg()
+	cfg.Gamma = 0 // pure immediate reward
+	l := MustNew(cfg)
+	l.Update(0, 1, 10, 0)
+	if got := l.Q(0, 1); got != 3 { // 0 + 0.3*(10-0)
+		t.Fatalf("Q(0,1) after one update = %v, want 3", got)
+	}
+	l.Update(0, 1, 10, 0)
+	if got := l.Q(0, 1); got != 3+0.3*(10-3) {
+		t.Fatalf("Q(0,1) after two updates = %v", got)
+	}
+	if l.Updates() != 2 {
+		t.Fatalf("Updates() = %d, want 2", l.Updates())
+	}
+}
+
+func TestBestActionTieBreaksLow(t *testing.T) {
+	l := MustNew(validCfg())
+	a, q := l.BestAction(0)
+	if a != 0 || q != 0 {
+		t.Fatalf("BestAction on uniform Q = (%d,%v), want (0,0)", a, q)
+	}
+}
+
+func TestGreedyConvergesToBestArm(t *testing.T) {
+	cfg := validCfg()
+	cfg.States = 1
+	cfg.Actions = 3
+	cfg.Epsilon = 0.1
+	cfg.Gamma = 0
+	l := MustNew(cfg)
+	// Arm 2 pays 1.0, others pay 0.1.
+	for i := 0; i < 2000; i++ {
+		a, _ := l.SelectAction(0)
+		r := 0.1
+		if a == 2 {
+			r = 1.0
+		}
+		l.Update(0, a, r, 0)
+	}
+	if best, _ := l.BestAction(0); best != 2 {
+		t.Fatalf("greedy action = %d, want 2", best)
+	}
+}
+
+func TestExplorationRate(t *testing.T) {
+	cfg := validCfg()
+	cfg.Epsilon = 0.1
+	l := MustNew(cfg)
+	explored := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, e := l.SelectAction(0); e {
+			explored++
+		}
+	}
+	frac := float64(explored) / n
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("exploration fraction = %v, want ~0.10", frac)
+	}
+}
+
+func TestEpsilonZeroNeverExplores(t *testing.T) {
+	cfg := validCfg()
+	cfg.Epsilon = 0
+	l := MustNew(cfg)
+	for i := 0; i < 1000; i++ {
+		if _, e := l.SelectAction(0); e {
+			t.Fatal("ε=0 learner explored")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	cfg := validCfg()
+	cfg.InitQ = 1
+	l := MustNew(cfg)
+	l.Update(0, 0, 100, 1)
+	l.Reset()
+	if l.Q(0, 0) != 1 || l.Updates() != 0 {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func TestDiscountedPropagation(t *testing.T) {
+	// Two-state chain: state 0 --action 0--> state 1 (reward 0),
+	// state 1 --action 0--> state 1 (reward 1). Q(0,0) should approach
+	// γ/(1−γ)·... — at minimum it must become positive via bootstrap.
+	cfg := validCfg()
+	cfg.States = 2
+	cfg.Actions = 1
+	cfg.Epsilon = 0
+	l := MustNew(cfg)
+	for i := 0; i < 500; i++ {
+		l.Update(1, 0, 1, 1)
+		l.Update(0, 0, 0, 1)
+	}
+	if l.Q(0, 0) <= 0 {
+		t.Fatalf("Q(0,0) = %v, want > 0 via bootstrapping", l.Q(0, 0))
+	}
+	if l.Q(1, 0) <= l.Q(0, 0) {
+		t.Fatalf("Q(1,0)=%v should exceed Q(0,0)=%v", l.Q(1, 0), l.Q(0, 0))
+	}
+}
+
+// Property: with rewards bounded in [lo, hi] and Q initialized inside
+// the bound, Q values remain within [lo/(1−γ), hi/(1−γ)].
+func TestQBoundedProperty(t *testing.T) {
+	prop := func(seed uint64, steps uint8) bool {
+		cfg := Config{States: 3, Actions: 2, Alpha: 0.5, Gamma: 0.5, Epsilon: 0.3, RandSeed: seed}
+		l := MustNew(cfg)
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int(rng>>33) % n
+		}
+		for i := 0; i < int(steps)+50; i++ {
+			s, a := next(3), next(2)
+			r := float64(next(3)) - 1 // reward in {-1,0,1}
+			l.Update(s, a, r, next(3))
+			_ = s
+			_ = a
+		}
+		bound := 1.0 / (1 - cfg.Gamma) // = 2
+		for s := 0; s < 3; s++ {
+			for a := 0; a < 2; a++ {
+				q := l.Q(s, a)
+				if q < -bound-1e-9 || q > bound+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectActionInRange(t *testing.T) {
+	l := MustNew(validCfg())
+	for i := 0; i < 1000; i++ {
+		a, _ := l.SelectAction(i % 4)
+		if a < 0 || a >= 3 {
+			t.Fatalf("SelectAction returned %d", a)
+		}
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := validCfg()
+	if got := MustNew(cfg).Config(); got != cfg {
+		t.Fatalf("Config() = %+v, want %+v", got, cfg)
+	}
+}

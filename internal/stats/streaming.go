@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford accumulates a running mean and variance without storing
+// samples (Welford's online algorithm).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance, or 0 with fewer than two
+// observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset discards all observations.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1].
+// Larger alpha weights recent observations more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha out of (0,1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates one observation.
+func (e *EWMA) Add(x float64) {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one observation has been added.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Window is a fixed-capacity sliding window of float64 observations
+// supporting exact percentile queries. The SOL safeguards track signals
+// like "P90 of α over the last 100 seconds" and "P99 vCPU wait time";
+// window sizes in those uses are small (hundreds to a few thousand
+// samples), so an O(n log n) sorted copy per query is plenty fast and
+// exact, which matters for reproducing thresholds.
+type Window struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewWindow returns a sliding window holding up to capacity samples.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic("stats: Window capacity must be positive")
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Add appends an observation, evicting the oldest if full.
+func (w *Window) Add(x float64) {
+	w.buf[w.next] = x
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Len returns the number of stored observations.
+func (w *Window) Len() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Full reports whether the window has reached capacity.
+func (w *Window) Full() bool { return w.full }
+
+// Reset discards all observations.
+func (w *Window) Reset() {
+	w.next = 0
+	w.full = false
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of the stored
+// observations using nearest-rank interpolation. It returns 0 when the
+// window is empty.
+func (w *Window) Percentile(p float64) float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	tmp := make([]float64, n)
+	copy(tmp, w.buf[:n])
+	sort.Float64s(tmp)
+	return percentileSorted(tmp, p)
+}
+
+// Mean returns the mean of the stored observations, 0 when empty.
+func (w *Window) Mean() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range w.buf[:n] {
+		sum += x
+	}
+	return sum / float64(n)
+}
+
+// Max returns the maximum stored observation, 0 when empty.
+func (w *Window) Max() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	m := w.buf[0]
+	for _, x := range w.buf[1:n] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// percentileSorted computes a percentile over an ascending slice using
+// linear interpolation between closest ranks.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile computes the p-th percentile of xs (not modified).
+// It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	return percentileSorted(tmp, p)
+}
+
+// Mean returns the arithmetic mean of xs, 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs, 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

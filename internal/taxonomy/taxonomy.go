@@ -1,0 +1,179 @@
+// Package taxonomy encodes the paper's characterization of production
+// on-node agents: the census of the 77 agents running on Azure nodes
+// (Table 1) and the survey of on-node learning resource-control agents
+// from the literature (Table 2), together with the query and rendering
+// code that regenerates both tables and the headline statistic that 35%
+// of agents could benefit from on-node learning.
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is one of the six agent classes of Table 1.
+type Class struct {
+	// Name of the class.
+	Name string
+	// Count of distinct agents in the class on Azure nodes.
+	Count int
+	// Description of the class's responsibility.
+	Description string
+	// Examples of concrete agents.
+	Examples string
+	// Benefits reports whether the class could benefit from on-node
+	// learning.
+	Benefits bool
+	// RunFrequency summarizes how often agents of the class run.
+	RunFrequency string
+}
+
+// Table1 returns the production agent taxonomy exactly as the paper
+// reports it.
+func Table1() []Class {
+	return []Class{
+		{
+			Name: "Configuration", Count: 25,
+			Description:  "Configure node HW, SW, or data",
+			Examples:     "Credentials, firewalls, OS updates",
+			Benefits:     false,
+			RunFrequency: "every 10 minutes to order of months",
+		},
+		{
+			Name: "Services", Count: 23,
+			Description:  "Long-running node services",
+			Examples:     "VM creation, live migration",
+			Benefits:     false,
+			RunFrequency: "seconds to minutes, for the node lifetime",
+		},
+		{
+			Name: "Monitoring/logging", Count: 18,
+			Description:  "Monitoring and logging node's state",
+			Examples:     "CPU and OS counters, network telemetry",
+			Benefits:     true,
+			RunFrequency: "seconds to tens of minutes",
+		},
+		{
+			Name: "Watchdogs", Count: 7,
+			Description:  "Watch for problems to alert/automitigate",
+			Examples:     "Disk space, intrusions, HW errors",
+			Benefits:     true,
+			RunFrequency: "seconds to minutes",
+		},
+		{
+			Name: "Resource control", Count: 2,
+			Description:  "Manage resource assignments",
+			Examples:     "Power capping, memory management",
+			Benefits:     true,
+			RunFrequency: "order of seconds",
+		},
+		{
+			Name: "Access", Count: 2,
+			Description:  "Allow operators access to nodes",
+			Examples:     "Filesystem access",
+			Benefits:     false,
+			RunFrequency: "continuously or on incidents",
+		},
+	}
+}
+
+// TotalAgents returns the census size (77 in the paper).
+func TotalAgents() int {
+	n := 0
+	for _, c := range Table1() {
+		n += c.Count
+	}
+	return n
+}
+
+// BenefitCount returns how many agents belong to classes that can
+// benefit from on-node learning.
+func BenefitCount() int {
+	n := 0
+	for _, c := range Table1() {
+		if c.Benefits {
+			n += c.Count
+		}
+	}
+	return n
+}
+
+// BenefitFraction returns the headline statistic: the fraction of
+// agents that could benefit from learning (0.35 in the paper).
+func BenefitFraction() float64 {
+	return float64(BenefitCount()) / float64(TotalAgents())
+}
+
+// LearningAgent is one row of Table 2: a published on-node learning
+// resource-control agent.
+type LearningAgent struct {
+	Name      string
+	Goal      string
+	Action    string
+	Frequency string
+	Inputs    string
+	Model     string
+}
+
+// Table2 returns the on-node learning agent survey exactly as the
+// paper reports it.
+func Table2() []LearningAgent {
+	return []LearningAgent{
+		{
+			Name: "SmartHarvest", Goal: "Harvest idle cores",
+			Action: "Core assignment", Frequency: "25 ms",
+			Inputs: "CPU usage", Model: "Cost-sensitive classification",
+		},
+		{
+			Name: "Hipster", Goal: "Reduce power draw",
+			Action: "Core assignment & frequency", Frequency: "1 s",
+			Inputs: "App QoS and load", Model: "Reinforcement learning",
+		},
+		{
+			Name: "LinnOS", Goal: "Improve IO perf",
+			Action: "IO request routing/rejection", Frequency: "Every IO",
+			Inputs: "Latencies, queue sizes", Model: "Binary classification",
+		},
+		{
+			Name: "ESP", Goal: "Reduce interference",
+			Action: "App scheduling", Frequency: "Every app",
+			Inputs: "App run time, perf counters", Model: "Regularized regression",
+		},
+		{
+			Name: "Overclocking (§5)", Goal: "Improve VM perf",
+			Action: "CPU overclocking", Frequency: "1 s",
+			Inputs: "Instructions per second", Model: "Reinforcement learning",
+		},
+		{
+			Name: "Disaggregation (§5)", Goal: "Migrate pages",
+			Action: "Warm/cold page ID", Frequency: "100 ms",
+			Inputs: "Page table scans", Model: "Multi-armed bandits",
+		},
+	}
+}
+
+// RenderTable1 formats Table 1 as aligned text.
+func RenderTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %5s  %-42s %-40s %s\n", "Class", "Count", "Description", "Examples", "Benefit?")
+	for _, c := range Table1() {
+		benefit := "No"
+		if c.Benefits {
+			benefit = "Yes"
+		}
+		fmt.Fprintf(&b, "%-20s %5d  %-42s %-40s %s\n", c.Name, c.Count, c.Description, c.Examples, benefit)
+	}
+	fmt.Fprintf(&b, "\nTotal agents: %d; can benefit from learning: %d (%.0f%%)\n",
+		TotalAgents(), BenefitCount(), 100*BenefitFraction())
+	return b.String()
+}
+
+// RenderTable2 formats Table 2 as aligned text.
+func RenderTable2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-22s %-30s %-10s %-28s %s\n", "Agent", "Goal", "Action", "Frequency", "Inputs", "Model")
+	for _, a := range Table2() {
+		fmt.Fprintf(&b, "%-20s %-22s %-30s %-10s %-28s %s\n", a.Name, a.Goal, a.Action, a.Frequency, a.Inputs, a.Model)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCensusTotals(t *testing.T) {
+	if got := TotalAgents(); got != 77 {
+		t.Fatalf("TotalAgents = %d, want 77", got)
+	}
+	if got := BenefitCount(); got != 27 {
+		t.Fatalf("BenefitCount = %d, want 27 (18+7+2)", got)
+	}
+	// The paper rounds 27/77 = 35%.
+	if frac := BenefitFraction(); frac < 0.34 || frac > 0.36 {
+		t.Fatalf("BenefitFraction = %v, want ~0.35", frac)
+	}
+}
+
+func TestTable1Classes(t *testing.T) {
+	classes := Table1()
+	if len(classes) != 6 {
+		t.Fatalf("Table 1 has %d classes, want 6", len(classes))
+	}
+	want := map[string]struct {
+		count    int
+		benefits bool
+	}{
+		"Configuration":      {25, false},
+		"Services":           {23, false},
+		"Monitoring/logging": {18, true},
+		"Watchdogs":          {7, true},
+		"Resource control":   {2, true},
+		"Access":             {2, false},
+	}
+	for _, c := range classes {
+		w, ok := want[c.Name]
+		if !ok {
+			t.Fatalf("unexpected class %q", c.Name)
+		}
+		if c.Count != w.count || c.Benefits != w.benefits {
+			t.Fatalf("class %q = (%d,%v), want (%d,%v)", c.Name, c.Count, c.Benefits, w.count, w.benefits)
+		}
+		if c.Description == "" || c.Examples == "" || c.RunFrequency == "" {
+			t.Fatalf("class %q missing narrative fields", c.Name)
+		}
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 6 {
+		t.Fatalf("Table 2 has %d rows, want 6", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.Goal == "" || r.Action == "" || r.Frequency == "" || r.Inputs == "" || r.Model == "" {
+			t.Fatalf("row %q missing fields", r.Name)
+		}
+	}
+	for _, want := range []string{"SmartHarvest", "Hipster", "LinnOS", "ESP"} {
+		if !names[want] {
+			t.Fatalf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestRendering(t *testing.T) {
+	t1 := RenderTable1()
+	if !strings.Contains(t1, "Watchdogs") || !strings.Contains(t1, "35%") {
+		t.Fatalf("Table 1 rendering incomplete:\n%s", t1)
+	}
+	t2 := RenderTable2()
+	if !strings.Contains(t2, "Thompson") && !strings.Contains(t2, "Multi-armed bandits") {
+		t.Fatalf("Table 2 rendering incomplete:\n%s", t2)
+	}
+	if lines := strings.Count(t2, "\n"); lines != 7 {
+		t.Fatalf("Table 2 rendering has %d lines, want 7", lines)
+	}
+}

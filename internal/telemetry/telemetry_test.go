@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"sol/internal/clock"
+)
+
+var epoch = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newSource(t *testing.T) (*clock.Virtual, *Source) {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	s, err := New(clk, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	return clk, s
+}
+
+func TestConfigValidation(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	bad := []Config{
+		{Channels: 0, Interval: time.Second, Budget: 1},
+		{Channels: 4, Interval: 0, Budget: 1},
+		{Channels: 4, Interval: time.Second, Budget: 0},
+		{Channels: 4, Interval: time.Second, Budget: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(clk, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestEventsAccrueAndSample(t *testing.T) {
+	clk, s := newSource(t)
+	clk.RunFor(10 * time.Second)
+	snap := s.Snapshot()
+	if snap.TotalEvents == 0 {
+		t.Fatal("no events generated in 10s")
+	}
+	n, err := s.Sample(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 0 {
+		t.Fatalf("Sample returned %d", n)
+	}
+	// Sampling clears pending events.
+	n2, _ := s.Sample(0)
+	if n2 != 0 {
+		t.Fatalf("second immediate sample returned %d, want 0", n2)
+	}
+	if s.Snapshot().SamplesTaken != 2 {
+		t.Fatal("samples not counted")
+	}
+}
+
+func TestSampleRange(t *testing.T) {
+	_, s := newSource(t)
+	if _, err := s.Sample(-1); err == nil {
+		t.Fatal("negative channel accepted")
+	}
+	if _, err := s.Sample(99); err == nil {
+		t.Fatal("out-of-range channel accepted")
+	}
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	clk, s := newSource(t)
+	clk.RunFor(5 * time.Second)
+	// Request 8 channels against a budget of 4.
+	_, sampled := s.SampleSet([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if sampled != 4 {
+		t.Fatalf("sampled %d channels, want budget of 4", sampled)
+	}
+	if s.Snapshot().OverBudget != 4 {
+		t.Fatalf("OverBudget = %d, want 4", s.Snapshot().OverBudget)
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	clk, s := newSource(t)
+	var zero Stats
+	// Sample everything every interval: coverage approaches 1.
+	stopAt := epoch.Add(20 * time.Second)
+	all := make([]int, s.Channels())
+	for i := range all {
+		all[i] = i
+	}
+	for clk.Now().Before(stopAt) {
+		clk.RunFor(100 * time.Millisecond)
+		for _, ch := range all {
+			s.Sample(ch) // direct, unbudgeted full sweep
+		}
+	}
+	cov := s.Snapshot().Coverage(zero)
+	if cov < 0.99 || cov > 1.001 {
+		t.Fatalf("full-sweep coverage = %v, want ~1", cov)
+	}
+}
+
+func TestCoverageEmptyWindow(t *testing.T) {
+	var a, b Stats
+	if a.Coverage(b) != 0 {
+		t.Fatal("empty-window coverage != 0")
+	}
+}
+
+func TestBurstsHappen(t *testing.T) {
+	clk, s := newSource(t)
+	sawBurst := false
+	for i := 0; i < 600 && !sawBurst; i++ {
+		clk.RunFor(100 * time.Millisecond)
+		for ch := 0; ch < s.Channels(); ch++ {
+			if s.Bursting(ch) {
+				sawBurst = true
+			}
+		}
+	}
+	if !sawBurst {
+		t.Fatal("no channel ever burst in 60s")
+	}
+}
+
+func TestStopHaltsGeneration(t *testing.T) {
+	clk, s := newSource(t)
+	clk.RunFor(time.Second)
+	s.Stop()
+	before := s.Snapshot().TotalEvents
+	clk.RunFor(10 * time.Second)
+	if s.Snapshot().TotalEvents != before {
+		t.Fatal("events generated after Stop")
+	}
+}
+
+func TestStartTwicePanics(t *testing.T) {
+	_, s := newSource(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Start()
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNew(clock.NewVirtual(epoch), Config{})
+}

@@ -1,0 +1,83 @@
+// Package sol is the public facade of the SOL framework — a
+// reproduction of "SOL: Safe On-Node Learning in Cloud Platforms"
+// (ASPLOS 2022).
+//
+// SOL is a runtime for building on-node machine-learning agents that
+// stay safe under production failure conditions. An agent implements
+// two interfaces: Model (collect telemetry, validate it, learn,
+// predict) and Actuator (act on predictions, assess end-to-end
+// behaviour, mitigate, clean up). The runtime schedules both as
+// decoupled control loops, so a throttled or failing model never stops
+// the actuator from taking safe actions.
+//
+// A minimal agent:
+//
+//	clk := sol.NewVirtualClock(start)     // or sol.NewRealClock()
+//	rt, err := sol.Run[MyData, MyPred](clk, myModel, myActuator, sol.Schedule{
+//		DataPerEpoch:        10,
+//		DataCollectInterval: 100 * time.Millisecond,
+//		MaxEpochTime:        1500 * time.Millisecond,
+//		AssessModelEvery:    1,
+//		MaxActuationDelay:   5 * time.Second,
+//	}, sol.Options{})
+//	defer rt.Stop() // runs the Actuator's CleanUp
+//
+// See examples/quickstart for a complete runnable agent, and the
+// internal/agents packages for the paper's three production-grade
+// agents (SmartOverclock, SmartHarvest, SmartMemory).
+package sol
+
+import (
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/core"
+)
+
+// Core API aliases: the facade and internal/core describe the same
+// types, so agents written against either compose freely.
+type (
+	// Model is the learning half of an agent (paper Listing 1).
+	Model[D, P any] = core.Model[D, P]
+	// Actuator is the control half of an agent (paper Listing 2).
+	Actuator[P any] = core.Actuator[P]
+	// Prediction is a predicted value with an explicit expiry.
+	Prediction[P any] = core.Prediction[P]
+	// Schedule carries the timing parameters of both control loops
+	// (paper Listing 3).
+	Schedule = core.Schedule
+	// Options tunes runtime behaviour (safeguard ablation, blocking
+	// baseline, fault injection hooks).
+	Options = core.Options
+	// Runtime is a running agent.
+	Runtime[D, P any] = core.Runtime[D, P]
+	// Stats are the runtime's counters.
+	Stats = core.Stats
+	// EpochInfo summarizes one learning epoch for the OnEpoch hook.
+	EpochInfo = core.EpochInfo
+	// Clock abstracts time for deterministic simulation and real nodes.
+	Clock = clock.Clock
+	// VirtualClock is a deterministic discrete-event clock.
+	VirtualClock = clock.Virtual
+	// ScheduleViolationHandler is the optional late-model-step callback.
+	ScheduleViolationHandler = core.ScheduleViolationHandler
+)
+
+// Run starts an agent's Model and Actuator control loops on clk
+// (SOL::RunAgent from paper Listing 3).
+func Run[D, P any](clk Clock, m Model[D, P], a Actuator[P], s Schedule, o Options) (*Runtime[D, P], error) {
+	return core.Run[D, P](clk, m, a, s, o)
+}
+
+// MustRun is Run but panics on configuration error.
+func MustRun[D, P any](clk Clock, m Model[D, P], a Actuator[P], s Schedule, o Options) *Runtime[D, P] {
+	return core.MustRun[D, P](clk, m, a, s, o)
+}
+
+// NewVirtualClock returns a deterministic discrete-event clock starting
+// at start. Drive it with RunFor/Run/Step.
+func NewVirtualClock(start time.Time) *VirtualClock { return clock.NewVirtual(start) }
+
+// NewRealClock returns the wall clock, for agents deployed on real
+// nodes.
+func NewRealClock() Clock { return clock.NewReal() }
