@@ -19,6 +19,7 @@ import (
 	"sol/internal/clock"
 	"sol/internal/core"
 	"sol/internal/experiments"
+	"sol/internal/fleet"
 	"sol/internal/ml/bandit"
 	"sol/internal/ml/linear"
 	"sol/internal/ml/qlearn"
@@ -131,6 +132,54 @@ func BenchmarkAblationBlocking(b *testing.B) {
 		ratio = r.Metrics["blocking/extra_power"] / r.Metrics["non-blocking/extra_power"]
 	}
 	b.ReportMetric(ratio, "blocking_penalty_x")
+}
+
+// --- Fleet-scale benchmarks: many agents, many nodes ---
+
+// benchFleet simulates a fleet of standard nodes (the paper's
+// three-agent co-location) per iteration and reports the discrete-
+// event throughput, the figure of merit for how much fleet one
+// process can simulate.
+func benchFleet(b *testing.B, nodes, workers int, dur time.Duration) {
+	b.Helper()
+	cfg := fleet.Config{
+		Nodes:    nodes,
+		Duration: dur,
+		Workers:  workers,
+		Setup:    fleet.StandardNode(fleet.StandardNodeConfig{Seed: 1}),
+	}
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = rep.Events
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(nodes)*dur.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "node-s/s")
+}
+
+// BenchmarkSupervisorNode is one standard node with three co-located
+// agents — the per-node cost every fleet size multiplies.
+func BenchmarkSupervisorNode(b *testing.B) {
+	benchFleet(b, 1, 1, 10*time.Second)
+}
+
+// BenchmarkFleet16 and BenchmarkFleet64 measure worker-pool scaling.
+func BenchmarkFleet16(b *testing.B) {
+	benchFleet(b, 16, 0, 5*time.Second)
+}
+
+func BenchmarkFleet64(b *testing.B) {
+	benchFleet(b, 64, 0, 5*time.Second)
+}
+
+// BenchmarkFleetSerial pins the pool to one worker, isolating the
+// parallel speedup of BenchmarkFleet64.
+func BenchmarkFleetSerial(b *testing.B) {
+	benchFleet(b, 64, 1, 5*time.Second)
 }
 
 // --- Microbenchmarks: the runtime and learner hot paths ---

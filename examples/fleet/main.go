@@ -1,0 +1,62 @@
+// Fleet example: SOL agents deployed the way the paper deploys them.
+//
+// The paper's evaluation (§6) co-locates SmartOverclock, SmartHarvest,
+// and SmartMemory on every node of the platform; safety comes from
+// each agent's own safeguards, not from central coordination. This
+// example builds that shape twice:
+//
+//  1. One node under a fleet.Supervisor, inspected mid-run: three
+//     heterogeneous agents share a clock and a simulated server, and
+//     each one's safeguard state is visible through core.Handle.
+//  2. A 24-node fleet driven by fleet.Run on a worker pool, with the
+//     runtime counters aggregated per agent kind — the operator's
+//     rollout dashboard.
+//
+// Run it:
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/fleet"
+)
+
+func main() {
+	start := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// --- 1. One node, three co-located agents, watched live. ---
+	fmt.Println("one node, three co-located agents:")
+	clk := clock.NewVirtual(start)
+	sup, err := fleet.StandardNode(fleet.StandardNodeConfig{Seed: 42})(0, clk)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 4; i++ {
+		clk.RunFor(15 * time.Second)
+		h := sup.Health()
+		fmt.Printf("  t=%2ds: %d agents, %d halted, %d model-failing\n",
+			(i+1)*15, h.Members, h.Halted, h.ModelFailing)
+	}
+	for _, st := range sup.Status() {
+		fmt.Printf("  %-10s actions=%-5d on-model=%-5d deadline-floor=%d\n",
+			st.Kind, st.Stats.Actions, st.Stats.ActionsOnModel,
+			st.DeadlineFloor(60*time.Second))
+	}
+	sup.StopAll()
+
+	// --- 2. A fleet of such nodes, aggregated per agent kind. ---
+	fmt.Println("\na 24-node fleet of the same co-location:")
+	rep, err := fleet.Run(fleet.Config{
+		Nodes:    24,
+		Duration: 30 * time.Second,
+		Setup:    fleet.StandardNode(fleet.StandardNodeConfig{Seed: 42}),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep)
+}

@@ -1,0 +1,3 @@
+module sol
+
+go 1.23

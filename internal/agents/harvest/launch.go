@@ -6,6 +6,10 @@ import (
 	"sol/internal/node"
 )
 
+// Kind identifies SmartHarvest to supervisors that manage
+// heterogeneous agents.
+const Kind = "harvest"
+
 // Agent bundles a running SmartHarvest instance.
 type Agent struct {
 	Model    *Model
@@ -14,8 +18,16 @@ type Agent struct {
 }
 
 // Launch builds the Model and Actuator for cfg and starts them under
-// the SOL runtime on clk.
+// the SOL runtime on clk with the paper-calibrated Schedule.
 func Launch(clk clock.Clock, n *node.Node, cfg Config, opts core.Options) (*Agent, error) {
+	return LaunchScheduled(clk, n, cfg, Schedule(), opts)
+}
+
+// LaunchScheduled is Launch with an explicit SOL schedule. The fleet
+// supervisor uses it to coarsen the 50 µs usage sampling — calibrated
+// for a single dedicated agent — when hundreds of nodes share one
+// process.
+func LaunchScheduled(clk clock.Clock, n *node.Node, cfg Config, sched core.Schedule, opts core.Options) (*Agent, error) {
 	m, err := NewModel(n, cfg)
 	if err != nil {
 		return nil, err
@@ -24,7 +36,7 @@ func Launch(clk clock.Clock, n *node.Node, cfg Config, opts core.Options) (*Agen
 	if err != nil {
 		return nil, err
 	}
-	rt, err := core.Run[Sample, int](clk, m, a, Schedule(), opts)
+	rt, err := core.Run[Sample, int](clk, m, a, sched, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -33,3 +45,6 @@ func Launch(clk clock.Clock, n *node.Node, cfg Config, opts core.Options) (*Agen
 
 // Stop stops the runtime (running CleanUp, which returns all cores).
 func (a *Agent) Stop() { a.Runtime.Stop() }
+
+// Handle returns the type-erased runtime handle for supervisors.
+func (a *Agent) Handle() core.Handle { return a.Runtime }

@@ -10,6 +10,10 @@ import (
 	"sol/internal/stats"
 )
 
+// Kind identifies SmartMemory to supervisors that manage
+// heterogeneous agents.
+const Kind = "memory"
+
 // Agent bundles a running SmartMemory instance.
 type Agent struct {
 	Model    *Model
@@ -18,14 +22,21 @@ type Agent struct {
 }
 
 // Launch builds the Model and Actuator for cfg over mem and starts
-// them under the SOL runtime on clk.
+// them under the SOL runtime on clk with the paper-calibrated
+// Schedule.
 func Launch(clk clock.Clock, mem *memsim.Memory, cfg Config, opts core.Options) (*Agent, error) {
+	return LaunchScheduled(clk, mem, cfg, Schedule(), opts)
+}
+
+// LaunchScheduled is Launch with an explicit SOL schedule, for callers
+// — such as the fleet supervisor — that co-locate many agents.
+func LaunchScheduled(clk clock.Clock, mem *memsim.Memory, cfg Config, sched core.Schedule, opts core.Options) (*Agent, error) {
 	m, err := NewModel(mem, cfg)
 	if err != nil {
 		return nil, err
 	}
 	a := NewActuator(mem, cfg)
-	rt, err := core.Run[Tick, Placement](clk, m, a, Schedule(), opts)
+	rt, err := core.Run[Tick, Placement](clk, m, a, sched, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -34,6 +45,9 @@ func Launch(clk clock.Clock, mem *memsim.Memory, cfg Config, opts core.Options) 
 
 // Stop stops the runtime (running CleanUp, which restores tier 1).
 func (a *Agent) Stop() { a.Runtime.Stop() }
+
+// Handle returns the type-erased runtime handle for supervisors.
+func (a *Agent) Handle() core.Handle { return a.Runtime }
 
 // StaticPolicy is the non-learning baseline of Figure 7: it scans every
 // region at one fixed interval, classifies regions by the same

@@ -6,6 +6,10 @@ import (
 	"sol/internal/node"
 )
 
+// Kind identifies SmartOverclock to supervisors that manage
+// heterogeneous agents.
+const Kind = "overclock"
+
 // Agent bundles a running SmartOverclock instance.
 type Agent struct {
 	Model    *Model
@@ -14,10 +18,17 @@ type Agent struct {
 }
 
 // Launch builds the Model and Actuator for cfg and starts them under
-// the SOL runtime on clk. opts customizes runtime behaviour (fault
-// injection, safeguard ablation); pass core.Options{} for production
-// behaviour.
+// the SOL runtime on clk with the paper-calibrated Schedule. opts
+// customizes runtime behaviour (fault injection, safeguard ablation);
+// pass core.Options{} for production behaviour.
 func Launch(clk clock.Clock, n *node.Node, cfg Config, opts core.Options) (*Agent, error) {
+	return LaunchScheduled(clk, n, cfg, Schedule(), opts)
+}
+
+// LaunchScheduled is Launch with an explicit SOL schedule, for callers
+// — such as the fleet supervisor — that co-locate many agents and
+// need different sampling rates than the single-agent calibration.
+func LaunchScheduled(clk clock.Clock, n *node.Node, cfg Config, sched core.Schedule, opts core.Options) (*Agent, error) {
 	m, err := NewModel(n, cfg)
 	if err != nil {
 		return nil, err
@@ -26,7 +37,7 @@ func Launch(clk clock.Clock, n *node.Node, cfg Config, opts core.Options) (*Agen
 	if err != nil {
 		return nil, err
 	}
-	rt, err := core.Run[Sample, int](clk, m, a, Schedule(), opts)
+	rt, err := core.Run[Sample, int](clk, m, a, sched, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -35,3 +46,6 @@ func Launch(clk clock.Clock, n *node.Node, cfg Config, opts core.Options) (*Agen
 
 // Stop stops the runtime (running CleanUp).
 func (a *Agent) Stop() { a.Runtime.Stop() }
+
+// Handle returns the type-erased runtime handle for supervisors.
+func (a *Agent) Handle() core.Handle { return a.Runtime }

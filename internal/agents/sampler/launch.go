@@ -6,6 +6,10 @@ import (
 	"sol/internal/telemetry"
 )
 
+// Kind identifies SmartSampler to supervisors that manage
+// heterogeneous agents.
+const Kind = "sampler"
+
 // Agent bundles a running SmartSampler instance.
 type Agent struct {
 	Model    *Model
@@ -14,14 +18,21 @@ type Agent struct {
 }
 
 // Launch builds the Model and Actuator for cfg over src and starts
-// them under the SOL runtime on clk.
+// them under the SOL runtime on clk with the paper-calibrated
+// Schedule.
 func Launch(clk clock.Clock, src *telemetry.Source, cfg Config, opts core.Options) (*Agent, error) {
+	return LaunchScheduled(clk, src, cfg, Schedule(), opts)
+}
+
+// LaunchScheduled is Launch with an explicit SOL schedule, for callers
+// — such as the fleet supervisor — that co-locate many agents.
+func LaunchScheduled(clk clock.Clock, src *telemetry.Source, cfg Config, sched core.Schedule, opts core.Options) (*Agent, error) {
 	m, err := NewModel(src, cfg)
 	if err != nil {
 		return nil, err
 	}
 	a := NewActuator(src)
-	rt, err := core.Run[Obs, Allocation](clk, m, a, Schedule(), opts)
+	rt, err := core.Run[Obs, Allocation](clk, m, a, sched, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -30,3 +41,6 @@ func Launch(clk clock.Clock, src *telemetry.Source, cfg Config, opts core.Option
 
 // Stop stops the runtime (running CleanUp).
 func (a *Agent) Stop() { a.Runtime.Stop() }
+
+// Handle returns the type-erased runtime handle for supervisors.
+func (a *Agent) Handle() core.Handle { return a.Runtime }

@@ -1,0 +1,29 @@
+package core
+
+// Handle is the type-erased management view of a running agent
+// runtime. Runtime[D, P] is generic in the agent's data and prediction
+// types, so two different agents' runtimes have unrelated Go types; a
+// supervisor that co-locates heterogeneous agents on one node (the
+// paper deploys SmartOverclock, SmartHarvest, and SmartMemory side by
+// side on every node) manages them through this interface instead.
+//
+// Handle exposes exactly the operations that are meaningful without
+// knowing D and P: observing the counters, reading safeguard state,
+// and stopping the agent. Anything prediction-typed stays behind the
+// concrete Runtime.
+type Handle interface {
+	// Stats returns a snapshot of the runtime's counters.
+	Stats() Stats
+	// Stop halts both control loops and runs the Actuator's CleanUp.
+	// It is idempotent.
+	Stop()
+	// Halted reports whether the actuator loop is currently halted by
+	// its performance safeguard.
+	Halted() bool
+	// ModelAssessmentFailing reports whether the model safeguard is
+	// currently intercepting predictions.
+	ModelAssessmentFailing() bool
+}
+
+// Runtime must keep satisfying Handle for every type instantiation.
+var _ Handle = (*Runtime[struct{}, struct{}])(nil)

@@ -45,6 +45,46 @@ type Stats struct {
 	ActuatorResumes           uint64 // safeguard released the halt
 }
 
+// Add accumulates another runtime's counters into s, for fleet-level
+// aggregation across many agents. Counters sum; StartedAt keeps the
+// earliest non-zero start and StoppedAt the latest stop, so the
+// aggregate spans the union of the runtimes' lifetimes.
+func (s *Stats) Add(o Stats) {
+	if s.StartedAt.IsZero() || (!o.StartedAt.IsZero() && o.StartedAt.Before(s.StartedAt)) {
+		s.StartedAt = o.StartedAt
+	}
+	if o.StoppedAt.After(s.StoppedAt) {
+		s.StoppedAt = o.StoppedAt
+	}
+
+	s.DataCollected += o.DataCollected
+	s.CollectErrors += o.CollectErrors
+	s.DataRejected += o.DataRejected
+	s.DataCommitted += o.DataCommitted
+	s.ModelUpdates += o.ModelUpdates
+	s.PredictErrors += o.PredictErrors
+	s.EpochShortCircuits += o.EpochShortCircuits
+	s.ModelAssessments += o.ModelAssessments
+	s.ModelSafeguardTriggers += o.ModelSafeguardTriggers
+	s.PredictionsIntercepted += o.PredictionsIntercepted
+	s.PredictionsIssued += o.PredictionsIssued
+	s.DefaultPredictions += o.DefaultPredictions
+	s.ScheduleViolations += o.ScheduleViolations
+
+	s.PredictionsExpired += o.PredictionsExpired
+	s.PredictionsDropped += o.PredictionsDropped
+
+	s.Actions += o.Actions
+	s.ActionsOnModel += o.ActionsOnModel
+	s.ActionsOnDefault += o.ActionsOnDefault
+	s.ActionsWithoutPrediction += o.ActionsWithoutPrediction
+	s.BlockedDeadlines += o.BlockedDeadlines
+	s.ActuatorAssessments += o.ActuatorAssessments
+	s.ActuatorSafeguardTriggers += o.ActuatorSafeguardTriggers
+	s.Mitigations += o.Mitigations
+	s.ActuatorResumes += o.ActuatorResumes
+}
+
 // String renders the counters as a compact multi-line report.
 func (s Stats) String() string {
 	var b strings.Builder

@@ -29,6 +29,11 @@ const (
 	Quick Scale = iota
 	// Full runs the complete evaluation horizons.
 	Full
+	// Short runs the minimum horizons on which the paper's
+	// qualitative shapes still hold; `go test -short` uses it to keep
+	// tier-1 latency down. Individual runners whose shapes need
+	// longer horizons may round Short up to Quick.
+	Short
 )
 
 // Result is one experiment's rendered output plus its key metrics.
@@ -117,12 +122,16 @@ func Run(id string, scale Scale) (*Result, error) {
 	return res, nil
 }
 
-// scaled shortens d under Quick scale.
+// scaled shortens d under the reduced scales.
 func scaled(s Scale, d time.Duration) time.Duration {
-	if s == Quick {
+	switch s {
+	case Quick:
 		return d / 3
+	case Short:
+		return d / 6
+	default:
+		return d
 	}
-	return d
 }
 
 // pct formats a ratio as a signed percentage change.

@@ -10,9 +10,19 @@ import (
 // material factor. Absolute values are asserted only loosely — the
 // point is that the reproduction's conclusions match the paper's.
 
+// testScale picks the experiment horizon: the Short minimum under
+// `go test -short`, Quick otherwise. The assertions below are
+// identical at both scales — Short only trims simulated time.
+func testScale() Scale {
+	if testing.Short() {
+		return Short
+	}
+	return Quick
+}
+
 func run(t *testing.T, id string) *Result {
 	t.Helper()
-	r, err := Run(id, Quick)
+	r, err := Run(id, testScale())
 	if err != nil {
 		t.Fatalf("Run(%q): %v", id, err)
 	}

@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/core"
+)
+
+// NodeFunc builds one node of the fleet: it constructs the node's
+// simulated substrate on clk (node, memory, telemetry), launches the
+// agents, and returns their supervisor. idx is the node's index in
+// [0, Nodes); implementations use it to vary workloads and seeds so
+// the fleet is heterogeneous but deterministic.
+type NodeFunc func(idx int, clk *clock.Virtual) (*Supervisor, error)
+
+// Config describes a fleet simulation.
+type Config struct {
+	// Nodes is the number of simulated nodes. Must be >= 1.
+	Nodes int
+	// Duration is the simulated horizon per node. Must be positive.
+	Duration time.Duration
+	// Setup builds each node. Must be non-nil and safe to call from
+	// multiple goroutines concurrently (each call receives its own
+	// clock and must build node-private state only).
+	Setup NodeFunc
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Start is the virtual start time; the zero value means the
+	// repository-wide 2022-01-01 epoch.
+	Start time.Time
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("fleet: Nodes = %d, must be >= 1", c.Nodes)
+	case c.Duration <= 0:
+		return fmt.Errorf("fleet: Duration = %v, must be positive", c.Duration)
+	case c.Setup == nil:
+		return fmt.Errorf("fleet: no Setup function")
+	case c.Workers < 0:
+		return fmt.Errorf("fleet: Workers = %d, must be >= 0", c.Workers)
+	}
+	return nil
+}
+
+func (c Config) workers() int {
+	w := c.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > c.Nodes {
+		w = c.Nodes
+	}
+	return w
+}
+
+func (c Config) start() time.Time {
+	if c.Start.IsZero() {
+		return time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return c.Start
+}
+
+// KindStats aggregates one agent kind across the fleet.
+type KindStats struct {
+	// Agents is how many agents of this kind ran.
+	Agents int
+	// Halted counts agents whose actuator safeguard was engaged at
+	// the end of the horizon; ModelFailing likewise for the model
+	// safeguard.
+	Halted       int
+	ModelFailing int
+	// DeadlineMet counts agents that took at least their deadline
+	// floor of actions (see MemberStatus.DeadlineFloor); agents whose
+	// actuator safeguard ever halted them are exempt, since halting
+	// is the sanctioned way to stop acting. DeadlineEligible is the
+	// denominator (agents with a configured deadline, never halted).
+	DeadlineMet      int
+	DeadlineEligible int
+	// Stats sums the runtime counters over all agents of the kind.
+	Stats core.Stats
+}
+
+// Report is the aggregated outcome of a fleet run.
+type Report struct {
+	// Nodes and Agents are fleet-wide totals.
+	Nodes  int
+	Agents int
+	// Duration is the simulated horizon each node ran.
+	Duration time.Duration
+	// Events is the total number of virtual-clock callbacks fired
+	// across all nodes — the discrete-event cost of the simulation.
+	Events uint64
+	// Kinds aggregates per agent kind.
+	Kinds map[string]*KindStats
+}
+
+// KindNames returns the aggregated kinds, sorted.
+func (r *Report) KindNames() []string {
+	out := make([]string, 0, len(r.Kinds))
+	for k := range r.Kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the report as a fleet-operator summary table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d nodes, %d agents, %v simulated, %d events\n",
+		r.Nodes, r.Agents, r.Duration, r.Events)
+	fmt.Fprintf(&b, "%-10s %7s %9s %9s %9s %8s %7s %7s %7s %9s\n",
+		"kind", "agents", "actions", "on-model", "default", "no-pred", "halted", "failing", "mitig", "deadline")
+	for _, k := range r.KindNames() {
+		ks := r.Kinds[k]
+		deadline := "n/a"
+		if ks.DeadlineEligible > 0 {
+			deadline = fmt.Sprintf("%d/%d", ks.DeadlineMet, ks.DeadlineEligible)
+		}
+		fmt.Fprintf(&b, "%-10s %7d %9d %9d %9d %8d %7d %7d %7d %9s\n",
+			k, ks.Agents, ks.Stats.Actions, ks.Stats.ActionsOnModel,
+			ks.Stats.ActionsOnDefault, ks.Stats.ActionsWithoutPrediction,
+			ks.Halted, ks.ModelFailing, ks.Stats.Mitigations, deadline)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// nodeResult is one node's outcome, collected for deterministic
+// aggregation in index order.
+type nodeResult struct {
+	statuses []MemberStatus
+	events   uint64
+	err      error
+}
+
+// Run simulates the fleet: each node gets its own virtual clock,
+// built by cfg.Setup, driven for cfg.Duration, then stopped; nodes
+// execute in parallel on the worker pool. The aggregation is
+// deterministic — running the same config twice yields an identical
+// Report — because every node's simulation is single-goroutine
+// deterministic and results merge in node-index order.
+//
+// The first node error aborts the run (pending nodes are skipped) and
+// is returned with a nil report.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	results := make([]nodeResult, cfg.Nodes)
+	jobs := make(chan int)
+	var abort bool
+	var abortMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				abortMu.Lock()
+				skip := abort
+				abortMu.Unlock()
+				if skip {
+					continue
+				}
+				results[idx] = runNode(cfg, idx)
+				if results[idx].err != nil {
+					abortMu.Lock()
+					abort = true
+					abortMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &Report{
+		Nodes:    cfg.Nodes,
+		Duration: cfg.Duration,
+		Kinds:    make(map[string]*KindStats),
+	}
+	for i := range results {
+		if err := results[i].err; err != nil {
+			return nil, fmt.Errorf("fleet: node %d: %w", i, err)
+		}
+		rep.Events += results[i].events
+		for _, st := range results[i].statuses {
+			rep.Agents++
+			ks := rep.Kinds[st.Kind]
+			if ks == nil {
+				ks = &KindStats{}
+				rep.Kinds[st.Kind] = ks
+			}
+			ks.Agents++
+			if st.Halted {
+				ks.Halted++
+			}
+			if st.ModelFailing {
+				ks.ModelFailing++
+			}
+			if st.MaxActuationDelay > 0 && st.Stats.ActuatorSafeguardTriggers == 0 {
+				ks.DeadlineEligible++
+				if st.Stats.Actions >= st.DeadlineFloor(cfg.Duration) {
+					ks.DeadlineMet++
+				}
+			}
+			ks.Stats.Add(st.Stats)
+		}
+	}
+	return rep, nil
+}
+
+// runNode simulates one node end to end on its own virtual clock.
+func runNode(cfg Config, idx int) nodeResult {
+	clk := clock.NewVirtual(cfg.start())
+	sup, err := cfg.Setup(idx, clk)
+	if err != nil {
+		return nodeResult{err: err}
+	}
+	if sup == nil {
+		return nodeResult{err: fmt.Errorf("setup returned no supervisor")}
+	}
+	clk.RunFor(cfg.Duration)
+	// Snapshot before StopAll so end-of-horizon safeguard state is
+	// observed, not post-cleanup state.
+	statuses := sup.Status()
+	sup.StopAll()
+	return nodeResult{statuses: statuses, events: clk.Fired()}
+}

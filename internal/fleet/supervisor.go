@@ -1,0 +1,209 @@
+// Package fleet scales SOL from one agent on one node to the paper's
+// deployment shape: several heterogeneous agents co-located on every
+// node (§6 runs SmartOverclock, SmartHarvest, and SmartMemory side by
+// side), and a cloud fleet of many such nodes managed together.
+//
+// Two layers are provided. Supervisor owns one node's agents: it
+// launches them on a shared clock and node, exposes their safeguard
+// state and counters uniformly through core.Handle, and stops them as
+// a group. Fleet drives hundreds of per-node simulations in parallel
+// on a worker pool — each node on its own deterministic virtual clock
+// — and aggregates the runtime counters across the fleet per agent
+// kind, which is the view a platform operator has of a rollout.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/node"
+)
+
+// Member is one agent managed by a Supervisor.
+type Member struct {
+	// Kind labels the agent type (e.g. overclock.Kind); fleet stats
+	// aggregate per kind.
+	Kind string
+	// Name identifies the member within its supervisor; unique.
+	Name string
+	// Handle is the agent's type-erased runtime.
+	Handle core.Handle
+	// MaxActuationDelay is the member's actuation deadline from its
+	// SOL schedule. The supervisor uses it to report deadline
+	// compliance; zero disables that accounting for the member.
+	MaxActuationDelay time.Duration
+}
+
+// MemberStatus is a point-in-time snapshot of one member.
+type MemberStatus struct {
+	Kind string
+	Name string
+	// Stats is the member runtime's counter snapshot.
+	Stats core.Stats
+	// Halted reports whether the actuator safeguard has the member's
+	// actuator loop halted.
+	Halted bool
+	// ModelFailing reports whether the model safeguard is currently
+	// intercepting the member's predictions.
+	ModelFailing bool
+	// MaxActuationDelay echoes the member's configured deadline.
+	MaxActuationDelay time.Duration
+}
+
+// DeadlineFloor returns the minimum number of actions a member that
+// never missed its MaxActuationDelay deadline must have taken over an
+// observation window. The runtime may act more often (it wakes for
+// every fresh prediction) but never less, unless its actuator was
+// halted by the safeguard — halting is the one sanctioned way to stop
+// acting.
+func (m MemberStatus) DeadlineFloor(window time.Duration) uint64 {
+	if m.MaxActuationDelay <= 0 || window < m.MaxActuationDelay {
+		return 0
+	}
+	return uint64(window / m.MaxActuationDelay)
+}
+
+// Health summarizes a supervisor's members for monitoring.
+type Health struct {
+	// Members is the number of supervised agents.
+	Members int
+	// Halted counts members whose actuator safeguard is engaged.
+	Halted int
+	// ModelFailing counts members whose model safeguard is engaged.
+	ModelFailing int
+}
+
+// Supervisor runs N heterogeneous agents co-located on one shared
+// clock and (optionally) one shared simulated node, the way SOL
+// deploys its agents in production. It is safe for concurrent use:
+// on a real clock, agent callbacks, Status, and StopAll may race.
+type Supervisor struct {
+	clk clock.Clock
+	n   *node.Node
+
+	mu      sync.Mutex
+	members []Member
+	byName  map[string]int
+	stopped bool
+}
+
+// NewSupervisor returns an empty supervisor on clk. n is the shared
+// node the agents manage; it may be nil for supervisors whose agents
+// run against other substrates (tiered memory, telemetry sources).
+func NewSupervisor(clk clock.Clock, n *node.Node) *Supervisor {
+	return &Supervisor{clk: clk, n: n, byName: make(map[string]int)}
+}
+
+// Clock returns the shared clock.
+func (s *Supervisor) Clock() clock.Clock { return s.clk }
+
+// Node returns the shared node (nil if the supervisor has none).
+func (s *Supervisor) Node() *node.Node { return s.n }
+
+// Attach registers an already-running agent with the supervisor.
+func (s *Supervisor) Attach(m Member) error {
+	if m.Kind == "" {
+		return fmt.Errorf("fleet: member %q has no kind", m.Name)
+	}
+	if m.Name == "" {
+		return fmt.Errorf("fleet: %s member has no name", m.Kind)
+	}
+	if m.Handle == nil {
+		return fmt.Errorf("fleet: member %q has no handle", m.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return fmt.Errorf("fleet: supervisor is stopped")
+	}
+	if _, dup := s.byName[m.Name]; dup {
+		return fmt.Errorf("fleet: duplicate member %q", m.Name)
+	}
+	s.byName[m.Name] = len(s.members)
+	s.members = append(s.members, m)
+	return nil
+}
+
+// LaunchFunc builds and starts one agent on the supervisor's clock and
+// node, returning its type-erased handle.
+type LaunchFunc func(clk clock.Clock, n *node.Node) (core.Handle, error)
+
+// Launch starts an agent via launch and attaches it under kind/name.
+// deadline is the agent's MaxActuationDelay, for deadline-compliance
+// reporting. If attaching fails the freshly launched agent is stopped.
+func (s *Supervisor) Launch(kind, name string, deadline time.Duration, launch LaunchFunc) error {
+	h, err := launch(s.clk, s.n)
+	if err != nil {
+		return fmt.Errorf("fleet: launch %s/%s: %w", kind, name, err)
+	}
+	if err := s.Attach(Member{Kind: kind, Name: name, Handle: h, MaxActuationDelay: deadline}); err != nil {
+		h.Stop()
+		return err
+	}
+	return nil
+}
+
+// Members returns a copy of the member list, in attach order.
+func (s *Supervisor) Members() []Member {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Member, len(s.members))
+	copy(out, s.members)
+	return out
+}
+
+// Status snapshots every member, in attach order.
+func (s *Supervisor) Status() []MemberStatus {
+	// Snapshot the member list, then query handles outside the lock:
+	// handle methods take each runtime's own mutex, which agent
+	// callbacks hold while running.
+	members := s.Members()
+	out := make([]MemberStatus, len(members))
+	for i, m := range members {
+		out[i] = MemberStatus{
+			Kind:              m.Kind,
+			Name:              m.Name,
+			Stats:             m.Handle.Stats(),
+			Halted:            m.Handle.Halted(),
+			ModelFailing:      m.Handle.ModelAssessmentFailing(),
+			MaxActuationDelay: m.MaxActuationDelay,
+		}
+	}
+	return out
+}
+
+// Health summarizes current safeguard state across members.
+func (s *Supervisor) Health() Health {
+	var h Health
+	for _, st := range s.Status() {
+		h.Members++
+		if st.Halted {
+			h.Halted++
+		}
+		if st.ModelFailing {
+			h.ModelFailing++
+		}
+	}
+	return h
+}
+
+// StopAll stops every member (running each Actuator's CleanUp) and
+// refuses further attaches. It is idempotent; members are stopped in
+// reverse attach order so dependents stop before their substrates.
+func (s *Supervisor) StopAll() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	members := make([]Member, len(s.members))
+	copy(members, s.members)
+	s.mu.Unlock()
+	for i := len(members) - 1; i >= 0; i-- {
+		members[i].Handle.Stop()
+	}
+}

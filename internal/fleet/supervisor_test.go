@@ -1,0 +1,360 @@
+package fleet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/node"
+)
+
+var testEpoch = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// testModel is a minimal Model whose assessment can be programmed to
+// fail from a given epoch on.
+type testModel struct {
+	clk        clock.Clock
+	ttl        time.Duration
+	epochs     int
+	failFrom   int // AssessModel returns false from this epoch on (0 = never fails)
+	collected  int
+	mu         sync.Mutex
+}
+
+func (m *testModel) CollectData() (int, error) {
+	m.mu.Lock()
+	m.collected++
+	m.mu.Unlock()
+	return 1, nil
+}
+func (m *testModel) ValidateData(int) error    { return nil }
+func (m *testModel) CommitData(time.Time, int) {}
+func (m *testModel) UpdateModel()              { m.epochs++ }
+func (m *testModel) Predict() (core.Prediction[int], error) {
+	return core.Prediction[int]{Value: m.epochs, Expires: m.clk.Now().Add(m.ttl)}, nil
+}
+func (m *testModel) DefaultPredict() core.Prediction[int] { return core.Prediction[int]{} }
+func (m *testModel) AssessModel() bool {
+	return m.failFrom == 0 || m.epochs < m.failFrom
+}
+
+// testActuator counts actions and can be programmed to fail its
+// performance assessment during a virtual-time window.
+type testActuator struct {
+	clk      clock.Clock
+	badFrom  time.Time // AssessPerformance fails in [badFrom, badTo)
+	badTo    time.Time
+	mu       sync.Mutex
+	actions  int
+	cleanups int
+	mitig    int
+}
+
+func (a *testActuator) TakeAction(*core.Prediction[int]) {
+	a.mu.Lock()
+	a.actions++
+	a.mu.Unlock()
+}
+func (a *testActuator) AssessPerformance() bool {
+	if a.badFrom.IsZero() {
+		return true
+	}
+	now := a.clk.Now()
+	return now.Before(a.badFrom) || !now.Before(a.badTo)
+}
+func (a *testActuator) Mitigate() {
+	a.mu.Lock()
+	a.mitig++
+	a.mu.Unlock()
+}
+func (a *testActuator) CleanUp() {
+	a.mu.Lock()
+	a.cleanups++
+	a.mu.Unlock()
+}
+
+// colocate builds a supervisor with three heterogeneous synthetic
+// agents on one virtual clock:
+//
+//   - fast: 50 ms collections, 500 ms actuation deadline, healthy.
+//   - flaky-act: its actuator safeguard fails between t=10s and
+//     t=20s, so it must halt, mitigate once, and resume.
+//   - flaky-model: its model fails assessment from epoch 8 on, so its
+//     predictions are intercepted but its actuator keeps acting on
+//     defaults.
+func colocate(clk clock.Clock) (*Supervisor, map[string]*testActuator, error) {
+	sup := NewSupervisor(clk, nil)
+	acts := make(map[string]*testActuator)
+
+	type spec struct {
+		name  string
+		sched core.Schedule
+		m     *testModel
+		a     *testActuator
+	}
+	specs := []spec{
+		{
+			name: "fast",
+			sched: core.Schedule{
+				DataPerEpoch: 4, DataCollectInterval: 50 * time.Millisecond,
+				MaxEpochTime: 400 * time.Millisecond, AssessModelEvery: 1,
+				MaxActuationDelay: 500 * time.Millisecond, AssessActuatorInterval: time.Second,
+			},
+			m: &testModel{clk: clk, ttl: time.Second},
+			a: &testActuator{clk: clk},
+		},
+		{
+			name: "flaky-act",
+			sched: core.Schedule{
+				DataPerEpoch: 5, DataCollectInterval: 100 * time.Millisecond,
+				MaxEpochTime: time.Second, AssessModelEvery: 1,
+				MaxActuationDelay: time.Second, AssessActuatorInterval: time.Second,
+			},
+			m: &testModel{clk: clk, ttl: 2 * time.Second},
+			a: &testActuator{clk: clk, badFrom: testEpoch.Add(10 * time.Second), badTo: testEpoch.Add(20 * time.Second)},
+		},
+		{
+			name: "flaky-model",
+			sched: core.Schedule{
+				DataPerEpoch: 5, DataCollectInterval: 200 * time.Millisecond,
+				MaxEpochTime: 2 * time.Second, AssessModelEvery: 1,
+				MaxActuationDelay: 2 * time.Second, AssessActuatorInterval: 2 * time.Second,
+			},
+			m: &testModel{clk: clk, ttl: 4 * time.Second, failFrom: 8},
+			a: &testActuator{clk: clk},
+		},
+	}
+	for _, s := range specs {
+		s := s
+		acts[s.name] = s.a
+		err := sup.Launch(s.name, s.name, s.sched.MaxActuationDelay,
+			func(clk clock.Clock, _ *node.Node) (core.Handle, error) {
+				return core.Run[int, int](clk, s.m, s.a, s.sched, core.Options{})
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return sup, acts, nil
+}
+
+// TestSupervisorColocatedDeadlines is the deterministic virtual-clock
+// proof that three co-located heterogeneous agents each keep their
+// MaxActuationDelay deadlines and that safeguards fire independently:
+// one agent's actuator halt and another's model interception leave
+// the remaining agents' loops untouched.
+func TestSupervisorColocatedDeadlines(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewVirtual(testEpoch)
+	sup, _, err := colocate(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.StopAll()
+
+	// Mid-run (t=15s): flaky-act's safeguard window is active, so it
+	// alone must be halted; flaky-model has passed epoch 8, so it
+	// alone must be intercepting.
+	clk.RunFor(15 * time.Second)
+	byName := statusByName(sup.Status())
+	if !byName["flaky-act"].Halted {
+		t.Fatal("flaky-act not halted inside its bad window")
+	}
+	if byName["fast"].Halted || byName["flaky-model"].Halted {
+		t.Fatal("actuator halt leaked to a co-located agent")
+	}
+	if !byName["flaky-model"].ModelFailing {
+		t.Fatal("flaky-model not failing assessment after epoch 8")
+	}
+	if byName["fast"].ModelFailing || byName["flaky-act"].ModelFailing {
+		t.Fatal("model interception leaked to a co-located agent")
+	}
+	if h := sup.Health(); h.Members != 3 || h.Halted != 1 || h.ModelFailing != 1 {
+		t.Fatalf("health = %+v, want 3 members, 1 halted, 1 failing", h)
+	}
+	// The healthy agents must still be acting while flaky-act is
+	// halted: fast has a 500 ms deadline, so by t=15s it met its
+	// floor of 30 actions.
+	window := 15 * time.Second
+	if got, want := byName["fast"].Stats.Actions, byName["fast"].DeadlineFloor(window); got < want {
+		t.Fatalf("fast took %d actions in %v, deadline floor is %d", got, window, want)
+	}
+
+	// End of run (t=30s): flaky-act's window has passed, so its
+	// safeguard must have released the halt.
+	clk.RunFor(15 * time.Second)
+	byName = statusByName(sup.Status())
+	if byName["flaky-act"].Halted {
+		t.Fatal("flaky-act still halted after its bad window cleared")
+	}
+	st := byName["flaky-act"].Stats
+	if st.ActuatorSafeguardTriggers != 1 || st.Mitigations != 1 || st.ActuatorResumes != 1 {
+		t.Fatalf("flaky-act safeguard cycle = triggers %d, mitigations %d, resumes %d; want 1/1/1",
+			st.ActuatorSafeguardTriggers, st.Mitigations, st.ActuatorResumes)
+	}
+	// Deadline floors over the full horizon. flaky-act was halted for
+	// ~10 s, so its floor shrinks by that window; the other two must
+	// meet the full-horizon floor exactly as if they ran alone.
+	full := 30 * time.Second
+	for _, name := range []string{"fast", "flaky-model"} {
+		got, want := byName[name].Stats.Actions, byName[name].DeadlineFloor(full)
+		if got < want {
+			t.Fatalf("%s took %d actions in %v, deadline floor is %d", name, got, full, want)
+		}
+	}
+	if got, want := byName["flaky-act"].Stats.Actions, byName["flaky-act"].DeadlineFloor(20*time.Second); got < want {
+		t.Fatalf("flaky-act took %d actions in its 20s of unhalted time, floor is %d", got, want)
+	}
+	// The intercepted model keeps the actuator fed with defaults.
+	fm := byName["flaky-model"].Stats
+	if fm.PredictionsIntercepted == 0 || fm.ActionsOnDefault == 0 {
+		t.Fatalf("flaky-model: intercepted=%d on-default=%d, want both > 0",
+			fm.PredictionsIntercepted, fm.ActionsOnDefault)
+	}
+}
+
+// TestSupervisorDeterminism runs the same co-location twice and
+// requires identical snapshots.
+func TestSupervisorDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func() []MemberStatus {
+		clk := clock.NewVirtual(testEpoch)
+		sup, _, err := colocate(clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.RunFor(20 * time.Second)
+		st := sup.Status()
+		sup.StopAll()
+		return st
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("virtual-clock supervisor runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestSupervisorStandardNode runs the paper's three production agents
+// co-located via StandardNode on a virtual clock and checks the
+// actuation deadline floors of the node-bound agents.
+func TestSupervisorStandardNode(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewVirtual(testEpoch)
+	sup, err := StandardNode(StandardNodeConfig{Seed: 7})(0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.StopAll()
+	const window = 10 * time.Second
+	clk.RunFor(window)
+
+	statuses := sup.Status()
+	if len(statuses) != 3 {
+		t.Fatalf("standard node has %d members, want 3", len(statuses))
+	}
+	for _, st := range statuses {
+		if st.Stats.DataCollected == 0 {
+			t.Fatalf("%s collected no data", st.Kind)
+		}
+		if st.Stats.ActuatorSafeguardTriggers == 0 && !st.Halted {
+			if got, want := st.Stats.Actions, st.DeadlineFloor(window); got < want {
+				t.Fatalf("%s took %d actions in %v, deadline floor is %d", st.Kind, got, window, want)
+			}
+		}
+	}
+}
+
+// TestSupervisorAttachErrors covers the attach/launch error paths.
+func TestSupervisorAttachErrors(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewVirtual(testEpoch)
+	sup := NewSupervisor(clk, nil)
+	h := core.MustRun[int, int](clk, &testModel{clk: clk, ttl: time.Second}, &testActuator{clk: clk}, core.Schedule{
+		DataPerEpoch: 1, DataCollectInterval: time.Second,
+		MaxEpochTime: time.Second, MaxActuationDelay: time.Second,
+	}, core.Options{})
+	if err := sup.Attach(Member{Name: "x", Handle: h}); err == nil {
+		t.Fatal("attach without kind accepted")
+	}
+	if err := sup.Attach(Member{Kind: "k", Handle: h}); err == nil {
+		t.Fatal("attach without name accepted")
+	}
+	if err := sup.Attach(Member{Kind: "k", Name: "x"}); err == nil {
+		t.Fatal("attach without handle accepted")
+	}
+	if err := sup.Attach(Member{Kind: "k", Name: "x", Handle: h}); err != nil {
+		t.Fatalf("valid attach rejected: %v", err)
+	}
+	if err := sup.Attach(Member{Kind: "k", Name: "x", Handle: h}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	sup.StopAll()
+	sup.StopAll() // idempotent
+	if err := sup.Attach(Member{Kind: "k", Name: "y", Handle: h}); err == nil {
+		t.Fatal("attach after StopAll accepted")
+	}
+}
+
+// TestSupervisorRealClock exercises the supervisor with three
+// co-located agents on the wall clock, with concurrent status reads —
+// this is the test the race detector patrols.
+func TestSupervisorRealClock(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewReal()
+	sup := NewSupervisor(clk, nil)
+	for _, name := range []string{"a", "b", "c"} {
+		m := &testModel{clk: clk, ttl: 100 * time.Millisecond}
+		a := &testActuator{clk: clk}
+		sched := core.Schedule{
+			DataPerEpoch: 2, DataCollectInterval: 5 * time.Millisecond,
+			MaxEpochTime: 50 * time.Millisecond, AssessModelEvery: 1,
+			MaxActuationDelay: 20 * time.Millisecond, AssessActuatorInterval: 25 * time.Millisecond,
+		}
+		err := sup.Launch("test", name, sched.MaxActuationDelay,
+			func(clk clock.Clock, _ *node.Node) (core.Handle, error) {
+				return core.Run[int, int](clk, m, a, sched, core.Options{})
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					_ = sup.Status()
+					_ = sup.Health()
+				}
+			}
+		}()
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(done)
+	wg.Wait()
+	sup.StopAll()
+
+	for _, st := range sup.Status() {
+		if st.Stats.Actions == 0 {
+			t.Fatalf("real-clock member %s never acted", st.Name)
+		}
+	}
+}
+
+func statusByName(sts []MemberStatus) map[string]MemberStatus {
+	out := make(map[string]MemberStatus, len(sts))
+	for _, st := range sts {
+		out[st.Name] = st
+	}
+	return out
+}
