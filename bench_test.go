@@ -155,9 +155,9 @@ func benchFleet(b *testing.B, nodes, workers int, dur time.Duration) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		events = rep.Events
+		events += rep.Events
 	}
-	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(float64(nodes)*dur.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "node-s/s")
 }
 
@@ -207,7 +207,7 @@ func (nopActuator) CleanUp()                    {}
 // 10-sample learning epoch plus actuation, scheduled on the virtual
 // clock.
 func BenchmarkRuntimeEpoch(b *testing.B) {
-	clk := clock.NewVirtual(time.Unix(0, 0))
+	clk := clock.NewVirtualSingle(time.Unix(0, 0))
 	rt := core.MustRun[int, int](clk, &nopModel{clk: clk}, nopActuator{}, Schedule{
 		DataPerEpoch:           10,
 		DataCollectInterval:    100 * time.Millisecond,
@@ -267,8 +267,34 @@ func BenchmarkWindowPercentile(b *testing.B) {
 	}
 }
 
+// BenchmarkVirtualClock is the event engine's steady-state hot path:
+// one self-re-arming ticker on a lock-elided single-driver clock. This
+// is the per-event cost every fleet simulation pays, so it must stay
+// at zero allocations per event.
 func BenchmarkVirtualClock(b *testing.B) {
+	clk := clock.NewVirtualSingle(time.Unix(0, 0))
+	clk.Tick(time.Millisecond, func() {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Step()
+	}
+}
+
+// BenchmarkVirtualClockLocked is the same ticker on the mutexed clock,
+// isolating the cost of the lock-elided single-driver mode.
+func BenchmarkVirtualClockLocked(b *testing.B) {
 	clk := clock.NewVirtual(time.Unix(0, 0))
+	clk.Tick(time.Millisecond, func() {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Step()
+	}
+}
+
+// BenchmarkVirtualAfterFunc is the pre-Tick idiom — a fresh one-shot
+// timer per event — kept as the yardstick for what Reset/Tick save.
+func BenchmarkVirtualAfterFunc(b *testing.B) {
+	clk := clock.NewVirtualSingle(time.Unix(0, 0))
 	var tick func()
 	tick = func() { clk.AfterFunc(time.Millisecond, tick) }
 	clk.AfterFunc(time.Millisecond, tick)

@@ -108,9 +108,10 @@ func runHarvest(clk *clock.Virtual, dur, report time.Duration) error {
 
 	for elapsed := time.Duration(0); elapsed < dur; elapsed += report {
 		clk.RunFor(report)
-		fmt.Printf("[%6s] grant=%d/8 harvested=%.0f core-s P99=%.1fms served=%d model-failing=%v halted=%v\n",
+		waitP90, waitP99 := ag.Actuator.WaitTailMs()
+		fmt.Printf("[%6s] grant=%d/8 harvested=%.0f core-s P99=%.1fms wait-p90/p99=%.2f/%.2fms served=%d model-failing=%v halted=%v\n",
 			elapsed+report, ag.Actuator.Granted(), el.CoreSeconds(),
-			tb.P99LatencySeconds()*1000, tb.Served(),
+			tb.P99LatencySeconds()*1000, waitP90, waitP99, tb.Served(),
 			ag.Runtime.ModelAssessmentFailing(), ag.Runtime.Halted())
 	}
 	fmt.Println("\nruntime counters:")

@@ -331,6 +331,8 @@ type Actuator struct {
 	prevWait float64
 	havePrev bool
 	waits    *stats.Window
+	// tail is the reusable result buffer for WaitTailMs.
+	tail []float64
 	// granted is the most recent grant, for inspection.
 	granted   int
 	mitigated uint64
@@ -398,6 +400,15 @@ func (a *Actuator) AssessPerformance() bool {
 		return true
 	}
 	return a.waits.Percentile(99) <= a.cfg.WaitP99ThresholdMs
+}
+
+// WaitTailMs returns the P90 and P99 of per-interval vCPU wait (ms)
+// over the safeguard window — the signal AssessPerformance triggers
+// on — computed with one sort via Window.Percentiles. Diagnostic;
+// call it from the goroutine driving the agent's clock.
+func (a *Actuator) WaitTailMs() (p90, p99 float64) {
+	a.tail = a.waits.Percentiles(a.tail[:0], 90, 99)
+	return a.tail[0], a.tail[1]
 }
 
 // Mitigate implements core.Actuator: stop harvesting; all cores go back

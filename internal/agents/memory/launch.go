@@ -84,14 +84,12 @@ func NewStaticPolicy(clk clock.Clock, mem *memsim.Memory, everyTicks int, covera
 }
 
 // Start begins the policy's scan/classify loop.
-func (s *StaticPolicy) Start() { s.schedule() }
+func (s *StaticPolicy) Start() {
+	s.ticker = s.clk.Tick(s.mem.Config().BaseTick, s.tick)
+}
 
 // Stop halts the loop.
 func (s *StaticPolicy) Stop() { s.ticker.Stop() }
-
-func (s *StaticPolicy) schedule() {
-	s.ticker = s.clk.AfterFunc(s.mem.Config().BaseTick, s.tick)
-}
 
 func (s *StaticPolicy) tick() {
 	pages := float64(s.mem.PagesPerRegion())
@@ -110,7 +108,6 @@ func (s *StaticPolicy) tick() {
 	if s.ticks%s.epoch == 0 {
 		s.place()
 	}
-	s.schedule()
 }
 
 // place classifies by observed per-scan hit counts (no saturation

@@ -15,6 +15,45 @@ func (*Real) Now() time.Time { return time.Now() }
 
 // AfterFunc schedules f on the wall clock via time.AfterFunc.
 func (*Real) AfterFunc(d time.Duration, f func()) *Timer {
-	t := time.AfterFunc(d, f)
-	return &Timer{stop: t.Stop}
+	if f == nil {
+		panic("clock: AfterFunc with nil callback")
+	}
+	return &Timer{rt: time.AfterFunc(d, f)}
+}
+
+// Tick schedules f every d on the wall clock, re-arming one underlying
+// time.Timer after each callback. It honors the interface's drift-free
+// contract: each re-arm targets the previous scheduled fire time plus
+// the period, so callback latency does not accumulate (a callback
+// slower than the period makes the next tick fire immediately, catching
+// up — the wall-clock analogue of the virtual ticker firing at every
+// grid point). As with time.AfterFunc, callbacks run on their own
+// goroutines; Stop prevents all future ticks but may not interrupt one
+// already in flight.
+func (*Real) Tick(d time.Duration, f func()) *Timer {
+	if f == nil {
+		panic("clock: Tick with nil callback")
+	}
+	if d <= 0 {
+		panic("clock: Tick with non-positive interval")
+	}
+	t := &Timer{rperiod: d}
+	// The callback re-arms through t.rt; hold rmu across creation so a
+	// near-immediate first fire cannot observe t.rt unassigned.
+	t.rmu.Lock()
+	t.rnext = time.Now().Add(d)
+	t.rt = time.AfterFunc(d, func() {
+		if t.rstop.Load() {
+			return
+		}
+		f()
+		t.rmu.Lock()
+		if !t.rstop.Load() {
+			t.rnext = t.rnext.Add(t.rperiod)
+			t.rt.Reset(time.Until(t.rnext))
+		}
+		t.rmu.Unlock()
+	})
+	t.rmu.Unlock()
+	return t
 }

@@ -1,75 +1,92 @@
 package clock
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
 )
 
 // Virtual is a deterministic discrete-event clock. Events scheduled
-// with AfterFunc fire in (time, insertion-order) order when the owner
-// calls Run, RunFor, RunUntilIdle, or Step. Callbacks run on the
+// with AfterFunc or Tick fire in (time, insertion-order) order when the
+// owner calls Run, RunFor, RunUntilIdle, or Step. Callbacks run on the
 // goroutine that drives the clock; they may schedule further events.
 //
-// Virtual is safe for concurrent use, but deterministic execution is
-// only guaranteed when a single goroutine drives it, which is how every
-// experiment in this repository runs.
+// Internally the clock keeps time as int64 nanoseconds since its start
+// instant and orders events on a hand-rolled binary heap keyed by
+// (when, seq); time.Time values exist only at the API boundary. This
+// keeps the per-event hot path free of 24-byte time.Time comparisons,
+// monotonic-clock handling, and container/heap interface calls.
+//
+// A clock from NewVirtual is safe for concurrent use, but
+// deterministic execution is only guaranteed when a single goroutine
+// drives it, which is how every experiment in this repository runs.
+// NewVirtualSingle returns a clock that exploits that: it elides the
+// mutex entirely and must only be touched from the driving goroutine.
 type Virtual struct {
-	mu    sync.Mutex
-	now   time.Time
-	seq   uint64
-	queue eventHeap
+	mu     sync.Mutex
+	single bool // lock-elided single-driver mode; see NewVirtualSingle
+	start  time.Time
+	now    int64 // ns since start
+	seq    uint64
+	heap   []*event
 	// fired counts callbacks executed, for diagnostics and tests.
 	fired uint64
 }
 
+// event is one scheduled callback, keyed by (when, seq). It is
+// embedded in its Timer, so a timer's whole lifecycle — schedule, fire,
+// re-arm, stop — touches exactly one allocation.
 type event struct {
-	at      time.Time
+	when    int64 // ns since clock start
 	seq     uint64
-	fn      func()
+	index   int   // heap position; -1 while not queued
+	period  int64 // >0: ticker interval in ns, re-armed after each fire
 	stopped bool
-	index   int
+	fn      func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// NewVirtual returns a Virtual clock whose current time is start.
+// NewVirtual returns a Virtual clock whose current time is start. It is
+// safe for concurrent use (callbacks still run only on the driving
+// goroutine).
 func NewVirtual(start time.Time) *Virtual {
-	return &Virtual{now: start}
+	return &Virtual{start: start}
 }
+
+// NewVirtualSingle returns a Virtual clock in single-driver mode: the
+// internal mutex is elided, so every method — scheduling, driving, and
+// Timer Stop/Reset — must be called from one goroutine. This is the
+// mode the fleet simulator and the experiments use (each node owns a
+// private clock driven by one worker); the locked NewVirtual remains
+// for callers that share a clock across goroutines, e.g. real-clock
+// -race tests of code paths that also run in simulation.
+func NewVirtualSingle(start time.Time) *Virtual {
+	return &Virtual{start: start, single: true}
+}
+
+func (v *Virtual) lock() {
+	if !v.single {
+		v.mu.Lock()
+	}
+}
+
+func (v *Virtual) unlock() {
+	if !v.single {
+		v.mu.Unlock()
+	}
+}
+
+// toNS converts an absolute time to the clock's internal timebase.
+func (v *Virtual) toNS(t time.Time) int64 { return t.Sub(v.start).Nanoseconds() }
+
+// fromNS converts the internal timebase back to an absolute time.
+func (v *Virtual) fromNS(ns int64) time.Time { return v.start.Add(time.Duration(ns)) }
 
 // Now returns the clock's current virtual time.
 func (v *Virtual) Now() time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
+	v.lock()
+	ns := v.now
+	v.unlock()
+	return v.fromNS(ns)
 }
 
 // AfterFunc schedules f at Now()+d. Negative d is treated as zero.
@@ -80,55 +97,144 @@ func (v *Virtual) AfterFunc(d time.Duration, f func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	v.mu.Lock()
-	e := &event{at: v.now.Add(d), seq: v.seq, fn: f}
+	t := &Timer{v: v}
+	t.e.fn = f
+	v.lock()
+	v.arm(&t.e, int64(d))
+	v.unlock()
+	return t
+}
+
+// Tick schedules f every d, first at Now()+d. The single event and
+// closure are reused for the life of the ticker: after each callback
+// the engine re-arms the event in place at the previous fire time plus
+// the period (drift-free), with a fresh sequence number, exactly as if
+// the callback had re-scheduled itself as its last action.
+func (v *Virtual) Tick(d time.Duration, f func()) *Timer {
+	if f == nil {
+		panic("clock: Tick with nil callback")
+	}
+	if d <= 0 {
+		panic("clock: Tick with non-positive interval")
+	}
+	t := &Timer{v: v}
+	t.e.fn = f
+	t.e.period = int64(d)
+	v.lock()
+	v.arm(&t.e, int64(d))
+	v.unlock()
+	return t
+}
+
+// arm queues e to fire d nanoseconds from now with a fresh sequence
+// number. Callers hold the lock.
+func (v *Virtual) arm(e *event, d int64) {
+	e.when = v.now + d
+	e.seq = v.seq
 	v.seq++
-	heap.Push(&v.queue, e)
-	v.mu.Unlock()
-	return &Timer{stop: func() bool {
-		v.mu.Lock()
-		defer v.mu.Unlock()
-		if e.stopped || e.index < 0 {
-			return false
-		}
-		e.stopped = true
-		heap.Remove(&v.queue, e.index)
-		e.index = -1
-		return true
-	}}
+	v.push(e)
+}
+
+// stopTimer implements Timer.Stop for virtual timers.
+func (v *Virtual) stopTimer(t *Timer) bool {
+	v.lock()
+	e := &t.e
+	if e.stopped {
+		v.unlock()
+		return false
+	}
+	e.stopped = true
+	pending := e.index >= 0
+	if pending {
+		v.removeAt(e.index)
+	}
+	v.unlock()
+	return pending
+}
+
+// resetTimer implements Timer.Reset for virtual timers: it re-arms the
+// event in place. A pending event is sifted to its new heap position;
+// a fired or stopped one is re-pushed. Either way the event gets a
+// fresh sequence number, so a Reset orders exactly like a brand-new
+// AfterFunc at the same instant.
+func (v *Virtual) resetTimer(t *Timer, d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	v.lock()
+	e := &t.e
+	e.stopped = false
+	if e.period > 0 && d > 0 {
+		e.period = int64(d)
+	}
+	wasPending := e.index >= 0
+	if wasPending {
+		e.when = v.now + int64(d)
+		e.seq = v.seq
+		v.seq++
+		v.fix(e.index)
+	} else {
+		v.arm(e, int64(d))
+	}
+	v.unlock()
+	return wasPending
 }
 
 // Len returns the number of pending events.
 func (v *Virtual) Len() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.queue.Len()
+	v.lock()
+	n := len(v.heap)
+	v.unlock()
+	return n
 }
 
 // Fired returns the number of callbacks executed so far.
 func (v *Virtual) Fired() uint64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.fired
+	v.lock()
+	n := v.fired
+	v.unlock()
+	return n
 }
 
 // Step executes the single earliest pending event, advancing the clock
 // to its timestamp. It reports whether an event was executed.
 func (v *Virtual) Step() bool {
-	v.mu.Lock()
-	if v.queue.Len() == 0 {
-		v.mu.Unlock()
+	v.lock()
+	if len(v.heap) == 0 {
+		v.unlock()
 		return false
 	}
-	e := heap.Pop(&v.queue).(*event)
-	e.index = -1
-	if e.at.After(v.now) {
-		v.now = e.at
+	e := v.pop()
+	if e.when > v.now {
+		v.now = e.when
 	}
 	v.fired++
-	v.mu.Unlock()
+	// Whether an event is periodic is fixed at creation, but a ticker's
+	// period value can be rewritten by a concurrent Reset on the locked
+	// clock — classify under the lock, read the value in rearm (also
+	// under the lock).
+	periodic := e.period > 0
+	v.unlock()
 	e.fn()
+	if periodic {
+		v.lock()
+		v.rearm(e)
+		v.unlock()
+	}
 	return true
+}
+
+// rearm re-queues a fired ticker event one period after its scheduled
+// fire time — unless the callback stopped it or already re-armed it
+// via Reset. Callers hold the lock.
+func (v *Virtual) rearm(e *event) {
+	if e.stopped || e.index >= 0 {
+		return
+	}
+	e.when += e.period
+	e.seq = v.seq
+	v.seq++
+	v.push(e)
 }
 
 // Run executes events in order until the clock reaches deadline. Events
@@ -136,24 +242,29 @@ func (v *Virtual) Step() bool {
 // set to deadline when Run returns. It returns the number of events
 // executed.
 func (v *Virtual) Run(deadline time.Time) int {
+	v.lock()
+	dl := v.toNS(deadline)
 	n := 0
 	for {
-		v.mu.Lock()
-		if v.queue.Len() == 0 || v.queue[0].at.After(deadline) {
-			if deadline.After(v.now) {
-				v.now = deadline
+		if len(v.heap) == 0 || v.heap[0].when > dl {
+			if dl > v.now {
+				v.now = dl
 			}
-			v.mu.Unlock()
+			v.unlock()
 			return n
 		}
-		e := heap.Pop(&v.queue).(*event)
-		e.index = -1
-		if e.at.After(v.now) {
-			v.now = e.at
+		e := v.pop()
+		if e.when > v.now {
+			v.now = e.when
 		}
 		v.fired++
-		v.mu.Unlock()
+		periodic := e.period > 0
+		v.unlock()
 		e.fn()
+		v.lock()
+		if periodic {
+			v.rearm(e)
+		}
 		n++
 	}
 }
@@ -176,8 +287,110 @@ func (v *Virtual) RunUntilIdle(maxEvents int) int {
 
 // String describes the clock state, for debugging.
 func (v *Virtual) String() string {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.lock()
+	now, pending, fired := v.now, len(v.heap), v.fired
+	v.unlock()
 	return fmt.Sprintf("virtual clock at %s, %d pending, %d fired",
-		v.now.Format(time.RFC3339Nano), v.queue.Len(), v.fired)
+		v.fromNS(now).Format(time.RFC3339Nano), pending, fired)
+}
+
+// --- event heap: a plain binary min-heap on (when, seq) ---
+//
+// Hand-rolled rather than container/heap to keep the per-event path
+// free of interface conversions and indirect calls.
+
+func (v *Virtual) less(i, j int) bool {
+	a, b := v.heap[i], v.heap[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (v *Virtual) swap(i, j int) {
+	h := v.heap
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (v *Virtual) push(e *event) {
+	e.index = len(v.heap)
+	v.heap = append(v.heap, e)
+	v.up(e.index)
+}
+
+// pop removes and returns the earliest event.
+func (v *Virtual) pop() *event {
+	h := v.heap
+	last := len(h) - 1
+	e := h[0]
+	if last > 0 {
+		h[0] = h[last]
+		h[0].index = 0
+	}
+	h[last] = nil
+	v.heap = h[:last]
+	if last > 1 {
+		v.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+// removeAt deletes the event at heap position i.
+func (v *Virtual) removeAt(i int) {
+	h := v.heap
+	last := len(h) - 1
+	e := h[i]
+	if i != last {
+		h[i] = h[last]
+		h[i].index = i
+	}
+	h[last] = nil
+	v.heap = h[:last]
+	if i < last {
+		v.fix(i)
+	}
+	e.index = -1
+}
+
+// fix restores heap order for a node whose key changed in place.
+func (v *Virtual) fix(i int) {
+	if !v.down(i) {
+		v.up(i)
+	}
+}
+
+func (v *Virtual) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !v.less(i, parent) {
+			break
+		}
+		v.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts node i toward the leaves; it reports whether i moved.
+func (v *Virtual) down(i int) bool {
+	start := i
+	n := len(v.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && v.less(r, l) {
+			m = r
+		}
+		if !v.less(m, i) {
+			break
+		}
+		v.swap(i, m)
+		i = m
+	}
+	return i > start
 }

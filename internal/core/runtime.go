@@ -82,16 +82,23 @@ type Runtime[D, P any] struct {
 	queue   *predQueue[P]
 	stopped bool
 
-	// Model-loop state.
-	epochStart   time.Time
-	validInEpoch int
-	epochIndex   int
-	assessBad    bool
-	collectTimer *clock.Timer
+	// Model-loop state. The collect timer is created once and re-armed
+	// with Reset for every subsequent step; collectIntended carries the
+	// step's intended time to the callback (the scheduled time may
+	// differ when a ModelDelay fault is injected).
+	epochStart      time.Time
+	validInEpoch    int
+	epochIndex      int
+	assessBad       bool
+	collectTimer    *clock.Timer
+	collectIntended time.Time
 
-	// Actuator-loop state.
+	// Actuator-loop state. One timer serves both firing reasons; the
+	// actDeadline flag records whether the pending firing is the
+	// MaxActuationDelay deadline or a wake for a fresh prediction.
 	halted      bool
 	actTimer    *clock.Timer
+	actDeadline bool
 	assessTimer *clock.Timer
 
 	stats Stats
@@ -183,7 +190,9 @@ func (r *Runtime[D, P]) ModelAssessmentFailing() bool {
 // --- Model loop ---
 
 // scheduleCollect arms the collect timer for the intended time,
-// applying any injected model delay. Callers hold r.mu.
+// applying any injected model delay. The timer and its closure are
+// created once; every later step re-arms them in place. Callers hold
+// r.mu.
 func (r *Runtime[D, P]) scheduleCollect(intended time.Time) {
 	at := intended
 	if r.opts.ModelDelay != nil {
@@ -191,17 +200,22 @@ func (r *Runtime[D, P]) scheduleCollect(intended time.Time) {
 			at = at.Add(d)
 		}
 	}
-	r.collectTimer = r.clk.AfterFunc(at.Sub(r.clk.Now()), func() {
-		r.collectStep(intended)
-	})
+	r.collectIntended = intended
+	d := at.Sub(r.clk.Now())
+	if r.collectTimer == nil {
+		r.collectTimer = r.clk.AfterFunc(d, r.collectStep)
+	} else {
+		r.collectTimer.Reset(d)
+	}
 }
 
-func (r *Runtime[D, P]) collectStep(intended time.Time) {
+func (r *Runtime[D, P]) collectStep() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stopped {
 		return
 	}
+	intended := r.collectIntended
 	now := r.clk.Now()
 	if late := now.Sub(intended); late > r.sched.latenessTolerance() {
 		r.stats.ScheduleViolations++
@@ -310,28 +324,34 @@ func (r *Runtime[D, P]) defaultPrediction() Prediction[P] {
 // --- Actuator loop ---
 
 // wakeActuatorLocked schedules an immediate actuator step in response
-// to a newly queued prediction. Callers hold r.mu.
+// to a newly queued prediction, re-arming the deadline timer in place
+// rather than allocating a replacement. Callers hold r.mu.
 func (r *Runtime[D, P]) wakeActuatorLocked() {
 	if r.halted || r.stopped {
 		return
 	}
-	r.actTimer.Stop()
-	r.actTimer = r.clk.AfterFunc(0, func() { r.actuatorStep(false) })
+	r.actDeadline = false
+	r.actTimer.Reset(0)
 }
 
 // scheduleActDeadline arms the MaxActuationDelay deadline. Callers hold
 // r.mu.
 func (r *Runtime[D, P]) scheduleActDeadline() {
-	r.actTimer.Stop()
-	r.actTimer = r.clk.AfterFunc(r.sched.MaxActuationDelay, func() { r.actuatorStep(true) })
+	r.actDeadline = true
+	if r.actTimer == nil {
+		r.actTimer = r.clk.AfterFunc(r.sched.MaxActuationDelay, r.actuatorStep)
+	} else {
+		r.actTimer.Reset(r.sched.MaxActuationDelay)
+	}
 }
 
-func (r *Runtime[D, P]) actuatorStep(deadline bool) {
+func (r *Runtime[D, P]) actuatorStep() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stopped || r.halted {
 		return
 	}
+	deadline := r.actDeadline
 	now := r.clk.Now()
 	pred := r.queue.takeFreshest(now)
 	r.stats.PredictionsExpired = r.queue.expired
@@ -358,10 +378,11 @@ func (r *Runtime[D, P]) actuatorStep(deadline bool) {
 	r.scheduleActDeadline()
 }
 
-// scheduleAssess arms the periodic actuator-performance check. Callers
-// hold r.mu.
+// scheduleAssess starts the periodic actuator-performance check as a
+// self-re-arming ticker: one timer and one closure for the life of the
+// runtime. Callers hold r.mu.
 func (r *Runtime[D, P]) scheduleAssess() {
-	r.assessTimer = r.clk.AfterFunc(r.sched.AssessActuatorInterval, r.assessStep)
+	r.assessTimer = r.clk.Tick(r.sched.AssessActuatorInterval, r.assessStep)
 }
 
 func (r *Runtime[D, P]) assessStep() {
@@ -387,5 +408,4 @@ func (r *Runtime[D, P]) assessStep() {
 		r.stats.ActuatorResumes++
 		r.scheduleActDeadline()
 	}
-	r.scheduleAssess()
 }

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+)
+
+// TestDumpMetricsFingerprint writes every experiment's metrics, sorted,
+// to the file named by the DUMP_METRICS environment variable. It is the
+// byte-identical determinism check for performance work on the engine:
+// dump before the change, dump after, and diff — any difference means
+// the optimization altered (time, insertion-order) event semantics
+// somewhere. It is skipped in normal runs.
+//
+//	DUMP_METRICS=/tmp/before.txt go test ./internal/experiments/ -run TestDumpMetricsFingerprint
+func TestDumpMetricsFingerprint(t *testing.T) {
+	path := os.Getenv("DUMP_METRICS")
+	if path == "" {
+		t.Skip("set DUMP_METRICS=<file> to dump the experiment metrics fingerprint")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, id := range IDs() {
+		r, err := Run(id, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(f, "%s %s %.12g\n", id, k, r.Metrics[k])
+		}
+	}
+}

@@ -79,7 +79,7 @@ type ocRun struct {
 // newOCRun builds the node and workload; staticLevel < 0 launches the
 // agent with cfgMut applied to its default configuration and opts.
 func newOCRun(w ocWorkload, seed uint64, staticLevel int, cfgMut func(*overclock.Config), opts core.Options) (*ocRun, error) {
-	clk := clock.NewVirtual(epoch)
+	clk := clock.NewVirtualSingle(epoch)
 	n, err := node.New(clk, node.DefaultConfig())
 	if err != nil {
 		return nil, err
@@ -310,7 +310,7 @@ func runFig5(s Scale) (*Result, error) {
 	r := &Result{}
 	// 10-minute period, 3 minutes of processing: long transient idle.
 	build := func(disableSafeguard bool) (*ocRun, *workload.Synthetic, error) {
-		clk := clock.NewVirtual(epoch)
+		clk := clock.NewVirtualSingle(epoch)
 		n, err := node.New(clk, node.DefaultConfig())
 		if err != nil {
 			return nil, nil, err
@@ -352,18 +352,9 @@ func runFig5(s Scale) (*Result, error) {
 			}
 			lastE, lastT = e, t
 		}
-		var tick func()
-		stop := false
-		tick = func() {
-			if stop {
-				return
-			}
-			sample()
-			run.clk.AfterFunc(time.Second, tick)
-		}
-		run.clk.AfterFunc(time.Second, tick)
+		ticker := run.clk.Tick(time.Second, sample)
 		run.clk.RunFor(window)
-		stop = true
+		ticker.Stop()
 		run.agent.Stop()
 
 		label := "without-safeguard"

@@ -28,7 +28,7 @@ func runExtSampler(s Scale) (*Result, error) {
 
 	agentRun := func(breakModel bool) func() (float64, uint64, error) {
 		return func() (float64, uint64, error) {
-			clk := clock.NewVirtual(epoch)
+			clk := clock.NewVirtualSingle(epoch)
 			src := telemetry.MustNew(clk, telemetry.DefaultConfig())
 			src.Start()
 			ag, err := sampler.Launch(clk, src, sampler.DefaultConfig(), core.Options{})
@@ -49,18 +49,13 @@ func runExtSampler(s Scale) (*Result, error) {
 
 	staticRun := func(rotate bool) func() (float64, uint64, error) {
 		return func() (float64, uint64, error) {
-			clk := clock.NewVirtual(epoch)
+			clk := clock.NewVirtualSingle(epoch)
 			src := telemetry.MustNew(clk, telemetry.DefaultConfig())
 			src.Start()
 			off := 0
-			stop := false
-			var tick func()
-			tick = func() {
-				if stop {
-					return
-				}
+			set := make([]int, src.Config().Budget)
+			ticker := clk.Tick(src.Config().Interval, func() {
 				budget := src.Config().Budget
-				set := make([]int, budget)
 				for i := range set {
 					set[i] = (off + i) % src.Channels()
 				}
@@ -68,13 +63,11 @@ func runExtSampler(s Scale) (*Result, error) {
 					off = (off + budget) % src.Channels()
 				}
 				src.SampleSet(set)
-				clk.AfterFunc(src.Config().Interval, tick)
-			}
-			clk.AfterFunc(src.Config().Interval, tick)
+			})
 			clk.RunFor(warmup)
 			mark := src.Snapshot()
 			clk.RunFor(window)
-			stop = true
+			ticker.Stop()
 			end := src.Snapshot()
 			return end.Coverage(mark), end.OverBudget, nil
 		}

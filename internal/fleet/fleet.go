@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sol/internal/clock"
@@ -157,8 +158,7 @@ func Run(cfg Config) (*Report, error) {
 
 	results := make([]nodeResult, cfg.Nodes)
 	jobs := make(chan int)
-	var abort bool
-	var abortMu sync.Mutex
+	var abort atomic.Bool
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers(); w++ {
@@ -166,17 +166,12 @@ func Run(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				abortMu.Lock()
-				skip := abort
-				abortMu.Unlock()
-				if skip {
+				if abort.Load() {
 					continue
 				}
 				results[idx] = runNode(cfg, idx)
 				if results[idx].err != nil {
-					abortMu.Lock()
-					abort = true
-					abortMu.Unlock()
+					abort.Store(true)
 				}
 			}
 		}()
@@ -223,9 +218,12 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// runNode simulates one node end to end on its own virtual clock.
+// runNode simulates one node end to end on its own virtual clock. The
+// clock is single-driver (lock-elided): the node's whole simulation —
+// substrate ticks, agent loops, supervision — runs on this worker
+// goroutine, which is exactly the contract NewVirtualSingle requires.
 func runNode(cfg Config, idx int) nodeResult {
-	clk := clock.NewVirtual(cfg.start())
+	clk := clock.NewVirtualSingle(cfg.start())
 	sup, err := cfg.Setup(idx, clk)
 	if err != nil {
 		return nodeResult{err: err}

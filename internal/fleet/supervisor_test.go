@@ -16,12 +16,12 @@ var testEpoch = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
 // testModel is a minimal Model whose assessment can be programmed to
 // fail from a given epoch on.
 type testModel struct {
-	clk        clock.Clock
-	ttl        time.Duration
-	epochs     int
-	failFrom   int // AssessModel returns false from this epoch on (0 = never fails)
-	collected  int
-	mu         sync.Mutex
+	clk       clock.Clock
+	ttl       time.Duration
+	epochs    int
+	failFrom  int // AssessModel returns false from this epoch on (0 = never fails)
+	collected int
+	mu        sync.Mutex
 }
 
 func (m *testModel) CollectData() (int, error) {

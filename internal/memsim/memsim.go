@@ -159,17 +159,13 @@ func (m *Memory) Start() {
 		panic("memsim: Start called twice")
 	}
 	m.started = true
-	m.schedule()
+	m.ticker = m.clk.Tick(m.cfg.BaseTick, m.tick)
 }
 
 // Stop halts integration.
 func (m *Memory) Stop() {
 	m.ticker.Stop()
 	m.started = false
-}
-
-func (m *Memory) schedule() {
-	m.ticker = m.clk.AfterFunc(m.cfg.BaseTick, m.tick)
 }
 
 func (m *Memory) tick() {
@@ -200,7 +196,6 @@ func (m *Memory) tick() {
 		m.bitsSet[r] += (1 - m.bitsSet[r]) * (distinct / p)
 	}
 	m.ticks++
-	m.schedule()
 }
 
 // --- Scanning (what the agent drives) ---

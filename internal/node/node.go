@@ -258,17 +258,13 @@ func (n *Node) Start() {
 		panic("node: Start called twice")
 	}
 	n.started = true
-	n.scheduleTick()
+	n.ticker = n.clk.Tick(n.cfg.TickInterval, n.tick)
 }
 
 // Stop cancels the tick loop.
 func (n *Node) Stop() {
 	n.ticker.Stop()
 	n.started = false
-}
-
-func (n *Node) scheduleTick() {
-	n.ticker = n.clk.AfterFunc(n.cfg.TickInterval, n.tick)
 }
 
 func (n *Node) tick() {
@@ -281,7 +277,6 @@ func (n *Node) tick() {
 	for _, f := range n.onTick {
 		f(now)
 	}
-	n.scheduleTick()
 }
 
 func (n *Node) tickVM(vm *VM, now time.Time, dt time.Duration) {

@@ -170,6 +170,54 @@ func TestWindowPercentile(t *testing.T) {
 	}
 }
 
+// TestWindowPercentiles checks the one-sort multi-quantile query
+// against individual Percentile calls, including reuse of a caller
+// buffer and queries interleaved with further Adds.
+func TestWindowPercentiles(t *testing.T) {
+	w := NewWindow(64)
+	rng := NewRNG(7)
+	for i := 0; i < 200; i++ {
+		w.Add(rng.Float64())
+	}
+	ps := []float64{0, 10, 50, 90, 99, 100}
+	got := w.Percentiles(nil, ps...)
+	for i, p := range ps {
+		if want := w.Percentile(p); got[i] != want {
+			t.Fatalf("Percentiles[%d] (P%v) = %v, want %v", i, p, want, got[i])
+		}
+	}
+	// Appending into a reused buffer must not disturb earlier entries.
+	buf := make([]float64, 0, 8)
+	buf = append(buf, -1)
+	buf = w.Percentiles(buf, 90, 99)
+	if len(buf) != 3 || buf[0] != -1 || buf[1] != w.Percentile(90) || buf[2] != w.Percentile(99) {
+		t.Fatalf("Percentiles append = %v", buf)
+	}
+	if out := NewWindow(4).Percentiles(nil, 50, 99); out[0] != 0 || out[1] != 0 {
+		t.Fatalf("empty-window Percentiles = %v, want zeros", out)
+	}
+}
+
+// TestWindowPercentileAllocs is the regression test for the reusable
+// scratch buffer: safeguard-style percentile queries must not allocate
+// in steady state.
+func TestWindowPercentileAllocs(t *testing.T) {
+	w := NewWindow(512)
+	rng := NewRNG(3)
+	for i := 0; i < 512; i++ {
+		w.Add(rng.Float64())
+	}
+	w.Percentile(99) // first query sizes the scratch
+	buf := make([]float64, 0, 2)
+	if avg := testing.AllocsPerRun(100, func() {
+		w.Add(rng.Float64())
+		_ = w.Percentile(99)
+		buf = w.Percentiles(buf[:0], 90, 99)
+	}); avg != 0 {
+		t.Fatalf("percentile query allocates %.1f times, want 0", avg)
+	}
+}
+
 func TestWindowEviction(t *testing.T) {
 	w := NewWindow(3)
 	for _, x := range []float64{1, 2, 3, 4, 5} {

@@ -78,12 +78,18 @@ func (e *EWMA) Initialized() bool { return e.init }
 // supporting exact percentile queries. The SOL safeguards track signals
 // like "P90 of α over the last 100 seconds" and "P99 vCPU wait time";
 // window sizes in those uses are small (hundreds to a few thousand
-// samples), so an O(n log n) sorted copy per query is plenty fast and
-// exact, which matters for reproducing thresholds.
+// samples), so an O(n log n) sort per query is plenty fast and exact,
+// which matters for reproducing thresholds. Queries sort into a scratch
+// buffer owned by the window, so the steady-state safeguard path —
+// assessed every interval by every agent in a fleet — does not
+// allocate.
 type Window struct {
 	buf  []float64
 	next int
 	full bool
+	// scratch holds the sorted copy used by percentile queries; lazily
+	// sized to capacity on first use.
+	scratch []float64
 }
 
 // NewWindow returns a sliding window holding up to capacity samples.
@@ -124,18 +130,42 @@ func (w *Window) Reset() {
 	w.full = false
 }
 
+// sorted copies the stored observations into the scratch buffer,
+// sorts it ascending, and returns it. It returns nil when the window
+// is empty. The scratch is reused across queries — no allocation after
+// the first call.
+func (w *Window) sorted() []float64 {
+	n := w.Len()
+	if n == 0 {
+		return nil
+	}
+	if w.scratch == nil {
+		w.scratch = make([]float64, 0, len(w.buf))
+	}
+	tmp := w.scratch[:n]
+	copy(tmp, w.buf[:n])
+	sort.Float64s(tmp)
+	return tmp
+}
+
 // Percentile returns the p-th percentile (p in [0, 100]) of the stored
 // observations using nearest-rank interpolation. It returns 0 when the
 // window is empty.
 func (w *Window) Percentile(p float64) float64 {
-	n := w.Len()
-	if n == 0 {
-		return 0
+	return percentileSorted(w.sorted(), p)
+}
+
+// Percentiles evaluates several percentile queries over one sort of
+// the window, appending the results to dst in order (a nil dst
+// allocates one). Safeguards that read multiple quantiles of the same
+// signal — e.g. a P90 trigger alongside a P99 log line — pay for a
+// single sorted copy instead of one per query.
+func (w *Window) Percentiles(dst []float64, ps ...float64) []float64 {
+	tmp := w.sorted()
+	for _, p := range ps {
+		dst = append(dst, percentileSorted(tmp, p))
 	}
-	tmp := make([]float64, n)
-	copy(tmp, w.buf[:n])
-	sort.Float64s(tmp)
-	return percentileSorted(tmp, p)
+	return dst
 }
 
 // Mean returns the mean of the stored observations, 0 when empty.

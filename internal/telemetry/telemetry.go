@@ -122,17 +122,13 @@ func (s *Source) Start() {
 		panic("telemetry: Start called twice")
 	}
 	s.started = true
-	s.schedule()
+	s.tick = s.clk.Tick(s.cfg.Interval, s.step)
 }
 
 // Stop halts event generation.
 func (s *Source) Stop() {
 	s.tick.Stop()
 	s.started = false
-}
-
-func (s *Source) schedule() {
-	s.tick = s.clk.AfterFunc(s.cfg.Interval, s.step)
 }
 
 func (s *Source) step() {
@@ -158,7 +154,6 @@ func (s *Source) step() {
 		ch.pending = n
 		s.totalEvents += float64(n)
 	}
-	s.schedule()
 }
 
 // Sample reads and clears channel ch's pending events. It counts

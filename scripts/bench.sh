@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — run the event-engine hot-path benchmarks and emit a JSON
+# snapshot (default BENCH_PR2.json) with ns/op, events/s, and allocs/op
+# per benchmark. The snapshot starts the repo's perf trajectory: each
+# perf PR records its numbers here so regressions are diffable across
+# machines and PRs (pair with benchstat for significance testing).
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_PR2.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# Microbenchmarks: per-event and per-epoch hot paths.
+go test -run '^$' -benchmem \
+  -bench 'BenchmarkVirtualClock$|BenchmarkVirtualClockLocked$|BenchmarkVirtualAfterFunc$|BenchmarkRuntimeEpoch$|BenchmarkWindowPercentile$' \
+  . | tee "$tmp"
+# Fleet benchmarks: whole-system events/s. A few fixed iterations keep
+# the run short; each iteration is already a 64-node simulation.
+go test -run '^$' -benchmem -benchtime=3x \
+  -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$' \
+  . | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; printf "  \"generated\": \"%s\",\n", date; first = 1 }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  nsop = evs = allocs = ""
+  for (i = 2; i < NF; i++) {
+    if ($(i+1) == "ns/op") nsop = $i
+    else if ($(i+1) == "events/s") evs = $i
+    else if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (!first) printf ",\n"
+  first = 0
+  printf "  \"%s\": {\"ns_per_op\": %s, \"events_per_s\": %s, \"allocs_per_op\": %s}", \
+    name, (nsop == "" ? "null" : nsop), (evs == "" ? "null" : evs), (allocs == "" ? "null" : allocs)
+}
+END { print "\n}" }
+' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -59,6 +59,10 @@ type (
 	Clock = clock.Clock
 	// VirtualClock is a deterministic discrete-event clock.
 	VirtualClock = clock.Virtual
+	// Timer is a handle to a scheduled callback — one-shot (AfterFunc)
+	// or periodic (Tick) — supporting allocation-free re-arming with
+	// Reset.
+	Timer = clock.Timer
 	// ScheduleViolationHandler is the optional late-model-step callback.
 	ScheduleViolationHandler = core.ScheduleViolationHandler
 )
@@ -77,6 +81,13 @@ func MustRun[D, P any](clk Clock, m Model[D, P], a Actuator[P], s Schedule, o Op
 // NewVirtualClock returns a deterministic discrete-event clock starting
 // at start. Drive it with RunFor/Run/Step.
 func NewVirtualClock(start time.Time) *VirtualClock { return clock.NewVirtual(start) }
+
+// NewVirtualClockSingle returns a virtual clock in lock-elided
+// single-driver mode: every method must be called from the one
+// goroutine that drives it. This is the fast path the fleet simulator
+// and the experiments use; prefer it whenever a simulation owns its
+// clock outright.
+func NewVirtualClockSingle(start time.Time) *VirtualClock { return clock.NewVirtualSingle(start) }
 
 // NewRealClock returns the wall clock, for agents deployed on real
 // nodes.
