@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sol/internal/clock"
+	"sol/internal/controlplane"
 	"sol/internal/core"
 	"sol/internal/experiments"
 	"sol/internal/fleet"
@@ -180,6 +181,68 @@ func BenchmarkFleet64(b *testing.B) {
 // parallel speedup of BenchmarkFleet64.
 func BenchmarkFleetSerial(b *testing.B) {
 	benchFleet(b, 64, 1, 5*time.Second)
+}
+
+// benchFleetStepped is benchFleet on the lockstep driver: the same
+// fleet advanced barrier-by-barrier each observation interval. The
+// delta against BenchmarkFleet64 is the price of mid-horizon
+// observability — it must stay within ~20% of batch.
+func benchFleetStepped(b *testing.B, nodes, workers int, dur, interval time.Duration) {
+	b.Helper()
+	cfg := fleet.Config{
+		Nodes:    nodes,
+		Duration: dur,
+		Workers:  workers,
+		Setup:    fleet.StandardNode(fleet.StandardNodeConfig{Seed: 1}),
+	}
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.RunStepped(cfg, interval, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(nodes)*dur.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "node-s/s")
+}
+
+// BenchmarkFleetStepped64 matches BenchmarkFleet64 with a 1 s lockstep
+// epoch (5 barriers per run).
+func BenchmarkFleetStepped64(b *testing.B) {
+	benchFleetStepped(b, 64, 0, 5*time.Second, time.Second)
+}
+
+// BenchmarkRollout32 runs a full healthy rollout campaign — canary to
+// 100% in four health-gated waves — over a 32-node lockstep fleet.
+func BenchmarkRollout32(b *testing.B) {
+	cfg, err := controlplane.NewScenario(controlplane.ScenarioSpec{
+		Scenario: controlplane.ScenarioHealthy,
+		Nodes:    32,
+		Duration: 45 * time.Second,
+		Interval: 5 * time.Second,
+		Kinds:    []string{"harvest"},
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	completed := true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := controlplane.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Fleet.Events
+		completed = completed && rep.Completed
+	}
+	if !completed {
+		b.Fatal("healthy rollout did not complete")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
 // --- Microbenchmarks: the runtime and learner hot paths ---

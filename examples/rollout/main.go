@@ -1,0 +1,61 @@
+// Rollout example: the fleet control plane catching a bad deployment.
+//
+// SOL makes one node's learning agent safe; at fleet scale the
+// dominant risk is shipping a bad variant to every node at once. The
+// control plane applies the same blast-radius discipline one level up:
+// variants roll out in health-gated waves over a lockstep fleet, and a
+// failed gate rolls the converted cohort back to baseline
+// automatically.
+//
+// This example runs the same 32-node fleet through two campaigns:
+//
+//  1. A healthy SmartHarvest candidate (one extra core of safety
+//     buffer): every wave passes its gate and the rollout completes.
+//  2. A botched candidate (no safety buffer, flattened misprediction
+//     costs at the fleet's coarse sampling): the canary cohort's
+//     safeguards trip during the soak, the first gate fails, the
+//     campaign rolls back — and the fleet ends the horizon exactly as
+//     healthy as if the campaign had never run.
+//
+// Run it:
+//
+//	go run ./examples/rollout
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sol/internal/controlplane"
+)
+
+func main() {
+	run := func(scenario string) *controlplane.Report {
+		cfg, err := controlplane.NewScenario(controlplane.ScenarioSpec{
+			Scenario: scenario,
+			Nodes:    32,
+			Duration: time.Minute,
+			Interval: 5 * time.Second,
+			Kinds:    []string{"harvest"},
+			Seed:     42,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rep, err := controlplane.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return rep
+	}
+
+	fmt.Println("--- 1. healthy rollout: every gate passes ---")
+	fmt.Println(run(controlplane.ScenarioHealthy))
+
+	fmt.Println("\n--- 2. bad variant: caught at the canary, rolled back ---")
+	bad := run(controlplane.ScenarioBadVariant)
+	fmt.Println(bad)
+
+	fmt.Printf("\nblast radius: %d of %d nodes ever ran %q; failure class: %s (%s)\n",
+		bad.MaxConverted, bad.Nodes, bad.Campaign, bad.Failure, bad.Failure.Describe())
+}

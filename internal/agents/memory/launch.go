@@ -49,6 +49,27 @@ func (a *Agent) Stop() { a.Runtime.Stop() }
 // Handle returns the type-erased runtime handle for supervisors.
 func (a *Agent) Handle() core.Handle { return a.Runtime }
 
+// Variant is a named, fully deployable parameterization of
+// SmartMemory: agent config plus SOL schedule. The fleet control
+// plane rolls variants out in health-gated waves and rolls them back
+// by relaunching the baseline variant.
+type Variant struct {
+	// Name labels the variant in rollout campaigns and reports.
+	Name     string
+	Config   Config
+	Schedule core.Schedule
+}
+
+// DefaultVariant returns the paper-calibrated baseline variant.
+func DefaultVariant() Variant {
+	return Variant{Name: "baseline", Config: DefaultConfig(), Schedule: Schedule()}
+}
+
+// LaunchVariant launches the agent with v's parameterization over mem.
+func LaunchVariant(clk clock.Clock, mem *memsim.Memory, v Variant, opts core.Options) (*Agent, error) {
+	return LaunchScheduled(clk, mem, v.Config, v.Schedule, opts)
+}
+
 // StaticPolicy is the non-learning baseline of Figure 7: it scans every
 // region at one fixed interval, classifies regions by the same
 // hottest-set rule SmartMemory uses, and applies the placement each

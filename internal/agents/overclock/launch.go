@@ -49,3 +49,24 @@ func (a *Agent) Stop() { a.Runtime.Stop() }
 
 // Handle returns the type-erased runtime handle for supervisors.
 func (a *Agent) Handle() core.Handle { return a.Runtime }
+
+// Variant is a named, fully deployable parameterization of
+// SmartOverclock: agent config plus SOL schedule. The fleet control
+// plane rolls variants out in health-gated waves and rolls them back
+// by relaunching the baseline variant.
+type Variant struct {
+	// Name labels the variant in rollout campaigns and reports.
+	Name     string
+	Config   Config
+	Schedule core.Schedule
+}
+
+// DefaultVariant returns the paper-calibrated baseline variant for vm.
+func DefaultVariant(vm string) Variant {
+	return Variant{Name: "baseline", Config: DefaultConfig(vm), Schedule: Schedule()}
+}
+
+// LaunchVariant launches the agent with v's parameterization.
+func LaunchVariant(clk clock.Clock, n *node.Node, v Variant, opts core.Options) (*Agent, error) {
+	return LaunchScheduled(clk, n, v.Config, v.Schedule, opts)
+}

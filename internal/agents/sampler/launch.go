@@ -44,3 +44,24 @@ func (a *Agent) Stop() { a.Runtime.Stop() }
 
 // Handle returns the type-erased runtime handle for supervisors.
 func (a *Agent) Handle() core.Handle { return a.Runtime }
+
+// Variant is a named, fully deployable parameterization of
+// SmartSampler: agent config plus SOL schedule. The fleet control
+// plane rolls variants out in health-gated waves and rolls them back
+// by relaunching the baseline variant.
+type Variant struct {
+	// Name labels the variant in rollout campaigns and reports.
+	Name     string
+	Config   Config
+	Schedule core.Schedule
+}
+
+// DefaultVariant returns the standard baseline variant.
+func DefaultVariant() Variant {
+	return Variant{Name: "baseline", Config: DefaultConfig(), Schedule: Schedule()}
+}
+
+// LaunchVariant launches the agent with v's parameterization over src.
+func LaunchVariant(clk clock.Clock, src *telemetry.Source, v Variant, opts core.Options) (*Agent, error) {
+	return LaunchScheduled(clk, src, v.Config, v.Schedule, opts)
+}

@@ -1,0 +1,276 @@
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"sol/internal/fleet"
+	"sol/internal/stats"
+	"sol/internal/taxonomy"
+)
+
+// Run executes one control-plane run: it builds the fleet, advances it
+// in lockstep epochs of cfg.Interval to cfg.Fleet.Duration, and — if a
+// campaign is configured — converts wave cohorts, judges the health
+// gate after each soak, and rolls the cohort back to baseline on a
+// failed gate. The fleet always runs to the full horizon, so a
+// rolled-back run's final report shows the fleet's post-rollback
+// health, directly comparable to a no-campaign run of the same config.
+//
+// Determinism contract: identical configs produce byte-identical wave
+// traces and reports (Report.String), whatever the worker-pool width.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	co, err := fleet.NewCoordinator(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	defer co.StopAll()
+
+	var st *campaignState
+	if cfg.Campaign != nil {
+		st = newCampaignState(cfg.Campaign, co)
+		// A campaign for a kind no node runs would pass every gate
+		// vacuously and report "completed"; refuse it instead.
+		if !st.kindPresent() {
+			return nil, fmt.Errorf("controlplane: campaign %q targets kind %q, but no node runs it",
+				cfg.Campaign.Name, cfg.Campaign.Kind)
+		}
+		// The canary converts at the virtual start instant, before any
+		// time passes: epoch 0 in the trace.
+		if err := st.convertNextWave(0); err != nil {
+			return nil, err
+		}
+	}
+	err = co.Drive(cfg.Fleet.Duration, cfg.Interval, func(epoch int, step time.Duration) error {
+		if st == nil {
+			return nil
+		}
+		return st.observe(epoch, step)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Nodes:    cfg.Fleet.Nodes,
+		Interval: cfg.Interval,
+		Fleet:    co.Report(),
+	}
+	if st != nil {
+		st.fill(rep)
+	}
+	return rep, nil
+}
+
+// memberKey identifies one cohort agent across epochs.
+type memberKey struct {
+	node int
+	name string
+}
+
+// campaignState is the wave state machine between lockstep barriers.
+type campaignState struct {
+	camp *Campaign
+	co   *fleet.Coordinator
+
+	// order is the deterministic node shuffle; nodes convert in this
+	// order, so order[:converted] is always the converted cohort.
+	order        []int
+	wave         int // index of the next wave to convert
+	converted    int // nodes currently converted
+	maxConverted int
+	soak         int // epochs left before the current wave's gate
+	done         bool
+	completed    bool
+	rolledBack   bool
+	failure      taxonomy.FailureClass
+	failureWave  int
+	reason       string
+	// prev holds each cohort agent's action count at the last barrier,
+	// for per-epoch deadline-compliance deltas.
+	prev  map[memberKey]uint64
+	trace []WaveEvent
+}
+
+func newCampaignState(camp *Campaign, co *fleet.Coordinator) *campaignState {
+	return &campaignState{
+		camp:  camp,
+		co:    co,
+		order: stats.NewRNG(camp.Seed ^ 0xc0a1e5ce).Perm(co.Nodes()),
+		prev:  make(map[memberKey]uint64),
+	}
+}
+
+// kindPresent reports whether any node runs a member of the campaign
+// kind.
+func (s *campaignState) kindPresent() bool {
+	for i := 0; i < s.co.Nodes(); i++ {
+		for _, m := range s.co.Supervisor(i).Members() {
+			if m.Kind == s.camp.Kind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deploy replaces every member of the campaign kind on node nodeIdx
+// with the agent launch builds, resetting the member's deadline
+// bookkeeping.
+func (s *campaignState) deploy(nodeIdx int, launch fleet.LaunchFunc, deadline time.Duration) error {
+	sup := s.co.Supervisor(nodeIdx)
+	for _, m := range sup.Members() {
+		if m.Kind != s.camp.Kind {
+			continue
+		}
+		if err := sup.Replace(m.Name, deadline, launch); err != nil {
+			return err
+		}
+		s.prev[memberKey{nodeIdx, m.Name}] = 0
+	}
+	return nil
+}
+
+// convertNextWave converts the next wave's cohort slice to the
+// candidate variant and arms the soak counter.
+func (s *campaignState) convertNextWave(epoch int) error {
+	frac := s.camp.Waves[s.wave]
+	target := cohortSize(frac, s.co.Nodes())
+	for i := s.converted; i < target; i++ {
+		if err := s.deploy(s.order[i], s.camp.Candidate(s.order[i]), s.camp.CandidateDeadline); err != nil {
+			return err
+		}
+	}
+	s.converted = target
+	if target > s.maxConverted {
+		s.maxConverted = target
+	}
+	s.wave++
+	s.soak = s.camp.SoakEpochs
+	s.trace = append(s.trace, WaveEvent{
+		Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
+		Action: ActionConvert, Converted: s.converted,
+	})
+	return nil
+}
+
+// rollback reverts the whole converted cohort to the baseline variant.
+func (s *campaignState) rollback(epoch int, res GateResult) error {
+	for i := 0; i < s.converted; i++ {
+		if err := s.deploy(s.order[i], s.camp.Baseline(s.order[i]), s.camp.BaselineDeadline); err != nil {
+			return err
+		}
+	}
+	s.trace = append(s.trace, WaveEvent{
+		Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
+		Action: ActionRollback, Converted: s.converted, Class: res.Class,
+	})
+	s.rolledBack = true
+	s.failure = res.Class
+	s.failureWave = s.wave
+	s.reason = res.Reason
+	s.converted = 0
+	s.done = true
+	return nil
+}
+
+// observe runs at every lockstep barrier: it aggregates cohort health
+// (keeping per-epoch deadline deltas fresh even while soaking) and,
+// when the soak is over, judges the gate and advances, completes, or
+// rolls back the campaign.
+func (s *campaignState) observe(epoch int, step time.Duration) error {
+	if s.done {
+		return nil
+	}
+	h := s.cohortHealth(step)
+	if s.soak > 0 {
+		s.soak--
+	}
+	if s.soak > 0 {
+		return nil
+	}
+	res := s.camp.Gate.Check(h)
+	if !res.OK {
+		s.trace = append(s.trace, WaveEvent{
+			Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
+			Action: ActionFail, Converted: s.converted,
+			Health: h, Reason: res.Reason, Class: res.Class,
+		})
+		return s.rollback(epoch, res)
+	}
+	if s.wave == len(s.camp.Waves) {
+		s.trace = append(s.trace, WaveEvent{
+			Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
+			Action: ActionComplete, Converted: s.converted, Health: h,
+		})
+		s.completed = true
+		s.done = true
+		return nil
+	}
+	s.trace = append(s.trace, WaveEvent{
+		Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
+		Action: ActionPass, Converted: s.converted, Health: h,
+	})
+	return s.convertNextWave(epoch)
+}
+
+// cohortHealth aggregates the campaign kind over the converted cohort
+// at the current barrier and updates the per-agent action bookkeeping.
+// step is the last epoch's length, for the deadline floor.
+func (s *campaignState) cohortHealth(step time.Duration) CohortHealth {
+	var h CohortHealth
+	for _, nodeIdx := range s.order[:s.converted] {
+		for _, mh := range s.co.Supervisor(nodeIdx).HealthDetail() {
+			if mh.Kind != s.camp.Kind {
+				continue
+			}
+			hh := mh.Health
+			h.Agents++
+			if hh.Halted {
+				h.Halted++
+			}
+			if hh.ModelFailing {
+				h.ModelFailing++
+			}
+			h.ActuatorTriggers += hh.ActuatorSafeguardTriggers
+			h.ModelTriggers += hh.ModelSafeguardTriggers
+			h.Mitigations += hh.Mitigations
+			h.ScheduleViolations += hh.ScheduleViolations
+			h.DataRejected += hh.DataRejected
+			h.DataCollected += hh.DataCollected
+
+			key := memberKey{nodeIdx, mh.Name}
+			delta := hh.Actions - s.prev[key]
+			s.prev[key] = hh.Actions
+			// Same eligibility rule as the fleet report: a configured
+			// deadline no longer than the epoch, and never halted —
+			// halting is the sanctioned way to stop acting.
+			if mh.MaxActuationDelay > 0 && step >= mh.MaxActuationDelay &&
+				!hh.Halted && hh.ActuatorSafeguardTriggers == 0 {
+				h.DeadlineEligible++
+				if delta >= uint64(step/mh.MaxActuationDelay) {
+					h.DeadlineMet++
+				}
+			}
+		}
+	}
+	return h
+}
+
+// fill copies the campaign outcome into the run report.
+func (s *campaignState) fill(rep *Report) {
+	rep.Campaign = s.camp.Name
+	rep.Kind = s.camp.Kind
+	rep.Waves = s.camp.Waves
+	rep.Trace = s.trace
+	rep.Completed = s.completed
+	rep.RolledBack = s.rolledBack
+	rep.Failure = s.failure
+	rep.FailureWave = s.failureWave
+	rep.FailureReason = s.reason
+	rep.MaxConverted = s.maxConverted
+	rep.Converted = s.converted
+}

@@ -1,0 +1,295 @@
+// Package controlplane is the fleet rollout controller: it drives a
+// simulated SOL fleet in lockstep epochs, aggregates per-kind agent
+// health between epochs, and executes rollout campaigns — a candidate
+// agent variant deployed in waves (1% → 5% → 25% → 100% of nodes),
+// where each wave proceeds only while the already-converted cohort
+// passes a health gate, and a failed gate triggers automatic rollback
+// of the whole cohort to the baseline variant.
+//
+// SOL (the paper) makes a single node's learning agent safe through
+// decoupled loops and safeguards. At fleet scale the dominant risk is
+// different: shipping one bad model, schedule, or config to a million
+// nodes at once. The control plane applies the same blast-radius
+// discipline one level up — a bad variant is caught while it owns 1%
+// of the fleet, named with the paper's §3.2 failure-condition class it
+// tripped on (internal/taxonomy), and reverted by the one operation
+// SOL guarantees is always safe: CleanUp plus relaunch of the
+// baseline.
+//
+// Everything is deterministic: the same campaign config produces a
+// byte-identical wave trace and final report, run after run, whatever
+// the worker-pool width.
+package controlplane
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sol/internal/fleet"
+	"sol/internal/taxonomy"
+)
+
+// Campaign describes one rollout: which agent kind is being
+// redeployed, how the candidate and baseline variants are launched on
+// each node, the wave plan, and the health gate each wave must pass.
+type Campaign struct {
+	// Name labels the campaign (typically the candidate variant name)
+	// in traces and reports.
+	Name string
+	// Kind is the agent kind being redeployed; every member of this
+	// kind on a converted node is replaced.
+	Kind string
+	// Candidate builds the launch closure deploying the candidate
+	// variant on node idx; Baseline likewise for rollback. Taking the
+	// node index lets per-node seeds and workload parameterization
+	// survive conversion.
+	Candidate func(idx int) fleet.LaunchFunc
+	Baseline  func(idx int) fleet.LaunchFunc
+	// CandidateDeadline and BaselineDeadline are the respective
+	// variants' MaxActuationDelay, for deadline-compliance accounting
+	// (zero disables it for that variant).
+	CandidateDeadline time.Duration
+	BaselineDeadline  time.Duration
+	// Waves are the cumulative fleet fractions of the rollout plan,
+	// strictly increasing in (0, 1]; e.g. 0.01, 0.05, 0.25, 1. Each
+	// wave's cohort size is the ceiling of fraction × nodes, so a
+	// canary wave converts at least one node.
+	Waves []float64
+	// SoakEpochs is how many lockstep epochs a freshly converted wave
+	// soaks before its gate is judged. Must be >= 1.
+	SoakEpochs int
+	// Gate is the health bar the converted cohort must clear for the
+	// next wave to proceed.
+	Gate Gate
+	// Seed drives the deterministic shuffle that orders nodes into
+	// waves, so the canary cohort is not just the lowest node indices.
+	Seed uint64
+}
+
+func (c *Campaign) validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("controlplane: campaign has no name")
+	case c.Kind == "":
+		return fmt.Errorf("controlplane: campaign %q has no agent kind", c.Name)
+	case c.Candidate == nil:
+		return fmt.Errorf("controlplane: campaign %q has no candidate variant", c.Name)
+	case c.Baseline == nil:
+		return fmt.Errorf("controlplane: campaign %q has no baseline variant", c.Name)
+	case c.SoakEpochs < 1:
+		return fmt.Errorf("controlplane: campaign %q: SoakEpochs = %d, must be >= 1", c.Name, c.SoakEpochs)
+	case len(c.Waves) == 0:
+		return fmt.Errorf("controlplane: campaign %q has no waves", c.Name)
+	case c.CandidateDeadline < 0 || c.BaselineDeadline < 0:
+		return fmt.Errorf("controlplane: campaign %q has a negative deadline", c.Name)
+	}
+	prev := 0.0
+	for i, w := range c.Waves {
+		// The comparisons are phrased so NaN fails too: every NaN
+		// comparison is false, so !(w > prev && w <= 1) catches it.
+		if !(w > prev && w <= 1) {
+			return fmt.Errorf("controlplane: campaign %q: wave %d fraction %v not strictly increasing in (0, 1]", c.Name, i+1, w)
+		}
+		prev = w
+	}
+	return nil
+}
+
+// cohortSize converts a wave fraction to a node count: the ceiling of
+// frac × nodes, at least 1, at most nodes. The epsilon absorbs float
+// rounding in the product — 0.07 × 100 lands one ULP above 7 and must
+// still mean 7 nodes, not 8: the blast-radius cap never rounds up
+// past what the wave plan declared.
+func cohortSize(frac float64, nodes int) int {
+	n := int(math.Ceil(frac*float64(nodes) - 1e-9))
+	if n < 1 {
+		n = 1
+	}
+	if n > nodes {
+		n = nodes
+	}
+	return n
+}
+
+// CohortHealth aggregates the campaign kind's agents across the
+// converted cohort at one lockstep barrier: live safeguard state,
+// cumulative safeguard and fault counters, and the last epoch's
+// actuation-deadline compliance. This is the evidence a Gate judges.
+type CohortHealth struct {
+	// Agents is the cohort size in agents (not nodes).
+	Agents int
+	// Halted and ModelFailing count agents whose respective safeguard
+	// is currently engaged.
+	Halted       int
+	ModelFailing int
+	// ActuatorTriggers and ModelTriggers are cumulative safeguard trip
+	// counts over the cohort's lifetime; Mitigations likewise.
+	ActuatorTriggers uint64
+	ModelTriggers    uint64
+	Mitigations      uint64
+	// ScheduleViolations counts model steps that ran late — the
+	// footprint of scheduling-delay faults.
+	ScheduleViolations uint64
+	// DataRejected over DataCollected is the bad-input-data footprint.
+	DataRejected  uint64
+	DataCollected uint64
+	// DeadlineMet over DeadlineEligible is actuation-deadline
+	// compliance over the last lockstep epoch: an eligible agent (has
+	// a deadline no longer than the epoch, never halted) must act at
+	// least floor(epoch/deadline) times per epoch.
+	DeadlineMet      int
+	DeadlineEligible int
+}
+
+// String renders the cohort health as one deterministic line.
+func (h CohortHealth) String() string {
+	deadline := "n/a"
+	if h.DeadlineEligible > 0 {
+		deadline = fmt.Sprintf("%d/%d", h.DeadlineMet, h.DeadlineEligible)
+	}
+	return fmt.Sprintf("agents=%d halted=%d failing=%d act-trig=%d model-trig=%d viol=%d rejected=%d/%d deadline=%s",
+		h.Agents, h.Halted, h.ModelFailing, h.ActuatorTriggers, h.ModelTriggers,
+		h.ScheduleViolations, h.DataRejected, h.DataCollected, deadline)
+}
+
+// Gate is the health bar a converted cohort must clear for a rollout
+// to proceed. Each threshold gates one failure signal; the zero value
+// of a Max* field tolerates none of that signal (the strictest gate),
+// and a negative value disables the check. MinDeadlineFrac is a floor:
+// zero disables it.
+//
+// Checks run in the order the paper introduces the failure conditions
+// (§3.2): bad input data, inaccurate models, scheduling delays
+// (violations, then deadline compliance), then environmental
+// interference (halts, then cumulative actuator trips). The first
+// check that trips names the campaign's taxonomy.FailureClass.
+type Gate struct {
+	// MaxRejectedFrac bounds DataRejected/DataCollected.
+	MaxRejectedFrac float64
+	// MaxViolationsPerAgent bounds cumulative schedule violations per
+	// cohort agent.
+	MaxViolationsPerAgent float64
+	// MinDeadlineFrac is the minimum DeadlineMet/DeadlineEligible over
+	// the last epoch; zero disables.
+	MinDeadlineFrac float64
+	// MaxModelFailingFrac bounds the fraction of agents currently
+	// failing model assessment.
+	MaxModelFailingFrac float64
+	// MaxHaltedFrac bounds the fraction of agents currently halted by
+	// their actuator safeguard.
+	MaxHaltedFrac float64
+	// MaxTriggersPerAgent bounds cumulative actuator-safeguard trips
+	// per cohort agent.
+	MaxTriggersPerAgent float64
+}
+
+// DefaultGate returns the standard rollout gate: a few percent of
+// halts, some model-safeguard churn, a handful of schedule violations,
+// and near-total deadline compliance. The rejected-data bar is
+// deliberately high: agents reject statistically censored samples as a
+// matter of routine (SmartHarvest censors ~15% at full-grant
+// utilization), so the default only catches gross corruption —
+// campaigns should calibrate MaxRejectedFrac to their kind's natural
+// censoring rate.
+func DefaultGate() Gate {
+	return Gate{
+		MaxRejectedFrac:       0.50,
+		MaxViolationsPerAgent: 3,
+		MinDeadlineFrac:       0.95,
+		MaxModelFailingFrac:   0.25,
+		MaxHaltedFrac:         0.02,
+		MaxTriggersPerAgent:   0.10,
+	}
+}
+
+// GateResult is one gate judgement.
+type GateResult struct {
+	OK bool
+	// Reason describes the tripped check; empty when OK.
+	Reason string
+	// Class is the §3.2 failure condition the tripped check indicates.
+	Class taxonomy.FailureClass
+}
+
+// Check judges h against the gate. An empty cohort passes vacuously.
+func (g Gate) Check(h CohortHealth) GateResult {
+	if h.Agents == 0 {
+		return GateResult{OK: true}
+	}
+	n := float64(h.Agents)
+	if g.MaxRejectedFrac >= 0 && h.DataCollected > 0 {
+		if frac := float64(h.DataRejected) / float64(h.DataCollected); frac > g.MaxRejectedFrac {
+			return GateResult{
+				Reason: fmt.Sprintf("rejected-data fraction %.3f > %.3f", frac, g.MaxRejectedFrac),
+				Class:  taxonomy.FailureBadData,
+			}
+		}
+	}
+	if g.MaxModelFailingFrac >= 0 {
+		if frac := float64(h.ModelFailing) / n; frac > g.MaxModelFailingFrac {
+			return GateResult{
+				Reason: fmt.Sprintf("model-failing fraction %.3f > %.3f", frac, g.MaxModelFailingFrac),
+				Class:  taxonomy.FailureInaccurateModel,
+			}
+		}
+	}
+	if g.MaxViolationsPerAgent >= 0 {
+		if v := float64(h.ScheduleViolations) / n; v > g.MaxViolationsPerAgent {
+			return GateResult{
+				Reason: fmt.Sprintf("schedule violations per agent %.2f > %.2f", v, g.MaxViolationsPerAgent),
+				Class:  taxonomy.FailureSchedulingDelay,
+			}
+		}
+	}
+	if g.MinDeadlineFrac > 0 && h.DeadlineEligible > 0 {
+		if frac := float64(h.DeadlineMet) / float64(h.DeadlineEligible); frac < g.MinDeadlineFrac {
+			return GateResult{
+				Reason: fmt.Sprintf("deadline compliance %.3f < %.3f", frac, g.MinDeadlineFrac),
+				Class:  taxonomy.FailureSchedulingDelay,
+			}
+		}
+	}
+	if g.MaxHaltedFrac >= 0 {
+		if frac := float64(h.Halted) / n; frac > g.MaxHaltedFrac {
+			return GateResult{
+				Reason: fmt.Sprintf("halted fraction %.3f > %.3f", frac, g.MaxHaltedFrac),
+				Class:  taxonomy.FailureEnvironment,
+			}
+		}
+	}
+	if g.MaxTriggersPerAgent >= 0 {
+		if v := float64(h.ActuatorTriggers) / n; v > g.MaxTriggersPerAgent {
+			return GateResult{
+				Reason: fmt.Sprintf("actuator-safeguard trips per agent %.2f > %.2f", v, g.MaxTriggersPerAgent),
+				Class:  taxonomy.FailureEnvironment,
+			}
+		}
+	}
+	return GateResult{OK: true}
+}
+
+// Config describes one control-plane run: a fleet, a lockstep
+// observation interval, and optionally a campaign to execute over it.
+type Config struct {
+	// Fleet is the underlying fleet simulation; every node starts on
+	// the baseline (whatever Fleet.Setup launches).
+	Fleet fleet.Config
+	// Interval is the lockstep epoch length — the control plane's
+	// observation period.
+	Interval time.Duration
+	// Campaign, when non-nil, is executed during the run. Nil gives a
+	// plain lockstep run, the no-campaign baseline rollback reports
+	// are compared against.
+	Campaign *Campaign
+}
+
+func (c Config) validate() error {
+	if c.Interval <= 0 {
+		return fmt.Errorf("controlplane: Interval = %v, must be positive", c.Interval)
+	}
+	if c.Campaign != nil {
+		return c.Campaign.validate()
+	}
+	return nil
+}

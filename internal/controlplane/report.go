@@ -1,0 +1,121 @@
+package controlplane
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sol/internal/fleet"
+	"sol/internal/taxonomy"
+)
+
+// Wave-trace actions, in the vocabulary an operator reads: a cohort
+// slice converts to the candidate, a soaked wave passes or fails its
+// gate, a failed gate rolls the whole cohort back, and a passed final
+// wave completes the campaign.
+const (
+	ActionConvert  = "convert"
+	ActionPass     = "pass"
+	ActionFail     = "fail"
+	ActionRollback = "rollback"
+	ActionComplete = "complete"
+)
+
+// WaveEvent is one entry of a campaign's wave trace.
+type WaveEvent struct {
+	// Epoch is the lockstep epoch at which the event occurred; 0 is
+	// the virtual start instant, before any time passed.
+	Epoch int
+	// At is the elapsed virtual time at the event.
+	At time.Duration
+	// Wave is the 1-based wave the event belongs to.
+	Wave int
+	// Action is one of the Action* constants.
+	Action string
+	// Converted is the converted cohort size (nodes) after the event.
+	Converted int
+	// Health is the judged cohort health (pass/fail/complete events).
+	Health CohortHealth
+	// Reason describes the tripped gate check (fail events).
+	Reason string
+	// Class is the failure condition the gate tripped on
+	// (fail/rollback events).
+	Class taxonomy.FailureClass
+}
+
+// Report is the outcome of one control-plane run: the wave trace and
+// campaign verdict (when a campaign ran) plus the final fleet report
+// at the horizon.
+type Report struct {
+	Nodes    int
+	Interval time.Duration
+
+	// Campaign fields; Campaign is empty for a plain lockstep run.
+	Campaign string
+	Kind     string
+	Waves    []float64
+	Trace    []WaveEvent
+	// Completed means every wave passed its gate; RolledBack means a
+	// gate failed and the cohort was reverted to baseline. At most one
+	// is true; both false means the horizon ended mid-campaign.
+	Completed  bool
+	RolledBack bool
+	// Failure names the §3.2 failure condition a failed gate tripped
+	// on, FailureWave the wave it tripped at, and FailureReason the
+	// tripped check.
+	Failure       taxonomy.FailureClass
+	FailureWave   int
+	FailureReason string
+	// MaxConverted is the largest cohort (nodes) the candidate ever
+	// held — the campaign's blast radius. Converted is the cohort at
+	// the horizon (0 after a rollback).
+	MaxConverted int
+	Converted    int
+
+	// Fleet is the full fleet report at the horizon.
+	Fleet *fleet.Report
+}
+
+// String renders the wave trace and verdict, then the fleet report.
+// The rendering is deterministic: identical campaign configs yield
+// byte-identical strings.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Campaign == "" {
+		fmt.Fprintf(&b, "controlplane: %d nodes, no campaign, %v epochs\n", r.Nodes, r.Interval)
+		b.WriteString(r.Fleet.String())
+		return b.String()
+	}
+	fmt.Fprintf(&b, "campaign %q on kind %s: %d nodes, %d waves, %v epochs\n",
+		r.Campaign, r.Kind, r.Nodes, len(r.Waves), r.Interval)
+	fmt.Fprintf(&b, "%5s %9s %4s %-8s %6s  %s\n", "epoch", "t", "wave", "action", "cohort", "detail")
+	for _, ev := range r.Trace {
+		detail := ""
+		switch ev.Action {
+		case ActionPass, ActionComplete:
+			detail = ev.Health.String()
+		case ActionFail:
+			detail = fmt.Sprintf("%s [%s] %s", ev.Reason, ev.Class, ev.Health)
+		case ActionRollback:
+			detail = fmt.Sprintf("reverted %d nodes to baseline [%s]", ev.Converted, ev.Class)
+		}
+		fmt.Fprintf(&b, "%5d %9s %4d %-8s %6d  %s\n",
+			ev.Epoch, ev.At, ev.Wave, ev.Action, ev.Converted, detail)
+	}
+	switch {
+	case r.Completed:
+		fmt.Fprintf(&b, "outcome: completed — %d/%d nodes on %q\n", r.Converted, r.Nodes, r.Campaign)
+	case r.RolledBack:
+		fmt.Fprintf(&b, "outcome: rolled back at wave %d/%d (max cohort %d/%d nodes) — %s: %s\n",
+			r.FailureWave, len(r.Waves), r.MaxConverted, r.Nodes, r.Failure, r.Failure.Describe())
+	default:
+		wave := 0
+		if n := len(r.Trace); n > 0 {
+			wave = r.Trace[n-1].Wave
+		}
+		fmt.Fprintf(&b, "outcome: horizon ended mid-campaign at wave %d/%d (%d/%d nodes converted)\n",
+			wave, len(r.Waves), r.Converted, r.Nodes)
+	}
+	b.WriteString(r.Fleet.String())
+	return b.String()
+}

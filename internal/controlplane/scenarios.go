@@ -1,0 +1,152 @@
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"sol/internal/agents/harvest"
+	"sol/internal/faults"
+	"sol/internal/fleet"
+)
+
+// The built-in demonstration scenarios, shared by cmd/solrollout,
+// examples/rollout, and the tests. All three roll a SmartHarvest
+// variant across a StandardNode fleet — harvesting is the agent whose
+// misbehaviour directly hurts customer QoS (primary-VM vCPU wait), so
+// it is the one a platform operator canaries hardest. They differ in
+// what goes wrong.
+const (
+	// ScenarioHealthy rolls out a sane candidate (one extra core of
+	// safety buffer). Every wave passes its gate and the campaign
+	// completes at 100%.
+	ScenarioHealthy = "healthy"
+	// ScenarioBadVariant rolls out a botched candidate that harvests
+	// with no safety buffer and near-symmetric misprediction costs at
+	// the fleet's coarse 1 ms sampling — exactly the configuration the
+	// fleet schedule's calibration note warns puts vCPU wait on the
+	// primary. The canary cohort's actuator safeguards trip during the
+	// soak, the first gate fails, and the campaign rolls back with the
+	// blast radius capped at the canary fraction.
+	ScenarioBadVariant = "bad-variant"
+	// ScenarioFaultStorm rolls out the sane candidate into a fleet
+	// that suffers a scheduling-delay storm (injected via
+	// internal/faults) while wave 3 is soaking: model steps run late
+	// fleet-wide, the gate trips on the converted cohort's schedule
+	// violations, and the campaign rolls back naming the
+	// scheduling-delay failure class — while SOL's decoupled actuators
+	// keep every node safe and deadline-compliant through the storm.
+	ScenarioFaultStorm = "fault-storm"
+)
+
+// Scenarios lists the built-in scenario names.
+func Scenarios() []string {
+	return []string{ScenarioHealthy, ScenarioBadVariant, ScenarioFaultStorm}
+}
+
+// ScenarioSpec parameterizes a built-in scenario.
+type ScenarioSpec struct {
+	// Scenario is one of the Scenario* names.
+	Scenario string
+	// Nodes and Duration size the fleet; Interval is the lockstep
+	// epoch (0 means 5 s). Duration should cover the full wave plan:
+	// (waves × soak + 1) × interval.
+	Nodes    int
+	Duration time.Duration
+	Interval time.Duration
+	// Waves and SoakEpochs override the wave plan; nil/zero give the
+	// canonical 1% → 5% → 25% → 100% with a 2-epoch soak.
+	Waves      []float64
+	SoakEpochs int
+	// Kinds is the node co-location; nil means fleet.StandardKinds.
+	Kinds []string
+	// Seed varies workloads and the cohort shuffle.
+	Seed uint64
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// NewScenario builds the ready-to-Run config for spec.
+func NewScenario(spec ScenarioSpec) (Config, error) {
+	waves := spec.Waves
+	if waves == nil {
+		waves = []float64{0.01, 0.05, 0.25, 1}
+	}
+	soak := spec.SoakEpochs
+	if soak == 0 {
+		soak = 2
+	}
+	interval := spec.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	std := fleet.StandardNodeConfig{Seed: spec.Seed, Kinds: spec.Kinds}
+
+	camp := &Campaign{
+		Kind:       harvest.Kind,
+		Waves:      waves,
+		SoakEpochs: soak,
+		Gate:       DefaultGate(),
+		Seed:       spec.Seed,
+	}
+	badVariant := false
+	switch spec.Scenario {
+	case ScenarioHealthy, ScenarioFaultStorm:
+		camp.Name = "buffer-3"
+		if spec.Scenario == ScenarioFaultStorm {
+			if len(waves) < 3 {
+				return Config{}, fmt.Errorf("controlplane: %s needs >= 3 waves, have %d", spec.Scenario, len(waves))
+			}
+			// The storm covers exactly wave 3's soak window: wave w
+			// converts at epoch (w-1)·soak when all prior gates pass.
+			from := fleet.DefaultStart.Add(time.Duration(2*soak) * interval)
+			std.Options.ModelDelay = (&faults.PeriodicDelay{
+				From:  from,
+				Until: from.Add(time.Duration(soak) * interval),
+				D:     time.Second,
+			}).ModelDelay
+		}
+	case ScenarioBadVariant:
+		camp.Name = "no-buffer-harvester"
+		badVariant = true
+	default:
+		return Config{}, fmt.Errorf("controlplane: unknown scenario %q (have %v)", spec.Scenario, Scenarios())
+	}
+
+	// Both variants keep each node's per-node seed: conversion changes
+	// the knobs under study, nothing else, and rollback restores the
+	// exact baseline StandardNode launched.
+	camp.Candidate = func(idx int) fleet.LaunchFunc {
+		v := std.HarvestVariant(idx)
+		v.Name = camp.Name
+		if badVariant {
+			// The fleet calibration note warns that 1 ms sampling lags
+			// bursts by a full epoch and needs the two-core buffer; a
+			// candidate that drops the buffer and flattens the paper's
+			// 8:1 under-prediction cost asymmetry puts vCPU wait
+			// straight onto the customer-facing primary VM.
+			v.Config.SafetyBuffer = 0
+			v.Config.UnderCost = 1
+		} else {
+			v.Config.SafetyBuffer = 3
+		}
+		return fleet.LaunchHarvest(v, std.Options)
+	}
+	camp.Baseline = func(idx int) fleet.LaunchFunc {
+		return fleet.LaunchHarvest(std.HarvestVariant(idx), std.Options)
+	}
+	deadline := std.HarvestVariant(0).Schedule.MaxActuationDelay
+	camp.CandidateDeadline = deadline
+	camp.BaselineDeadline = deadline
+
+	return Config{
+		Fleet: fleet.Config{
+			Nodes:    spec.Nodes,
+			Duration: spec.Duration,
+			Workers:  spec.Workers,
+			Setup:    fleet.StandardNode(std),
+			Start:    fleet.DefaultStart,
+		},
+		Interval: interval,
+		Campaign: camp,
+	}, nil
+}

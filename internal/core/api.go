@@ -42,6 +42,15 @@ type Prediction[P any] struct {
 }
 
 // Expired reports whether the prediction is unusable at time now.
+//
+// The boundary is inclusive of the expiry instant: a prediction
+// consumed exactly at Expires is still usable (the check is
+// now.After(Expires), not !now.Before(Expires)). This is a pinned
+// contract, not an accident — agents commonly set Expires to the next
+// actuation deadline, and the actuator's deadline timer fires exactly
+// at that instant on the virtual clock, so an exclusive boundary would
+// silently discard every deadline-aligned prediction. A zero Expires
+// never expires.
 func (p Prediction[P]) Expired(now time.Time) bool {
 	return !p.Expires.IsZero() && now.After(p.Expires)
 }

@@ -542,6 +542,45 @@ func TestPredictionZeroExpiryNeverExpires(t *testing.T) {
 	}
 }
 
+// TestPredictionExpiredBoundary pins the inclusive expiry contract:
+// exactly at Expires a prediction is still usable, one nanosecond
+// later it is not. Agents set Expires to the next actuation deadline
+// and the deadline timer fires exactly at that instant, so an
+// exclusive boundary would discard every deadline-aligned prediction.
+func TestPredictionExpiredBoundary(t *testing.T) {
+	expires := epoch.Add(time.Second)
+	p := Prediction[int]{Value: 1, Expires: expires}
+	if p.Expired(expires.Add(-time.Nanosecond)) {
+		t.Fatal("prediction expired before its Expires instant")
+	}
+	if p.Expired(expires) {
+		t.Fatal("prediction expired exactly at Expires; the boundary is inclusive (now.After, not !now.Before)")
+	}
+	if !p.Expired(expires.Add(time.Nanosecond)) {
+		t.Fatal("prediction still usable one nanosecond after Expires")
+	}
+}
+
+// TestHealthSnapshot checks that Health mirrors the live safeguard
+// state and the gating counters in one read.
+func TestHealthSnapshot(t *testing.T) {
+	clk, _, a, rt := startAgent(t, Options{})
+	a.perfOK = false
+	clk.RunFor(200 * time.Millisecond) // actuator assessment trips and halts
+	h := rt.Health()
+	if !h.Halted {
+		t.Fatal("Health.Halted false after actuator safeguard trip")
+	}
+	st := rt.Stats()
+	if h.Actions != st.Actions || h.ActuatorSafeguardTriggers != st.ActuatorSafeguardTriggers ||
+		h.Mitigations != st.Mitigations || h.DataCollected != st.DataCollected {
+		t.Fatalf("Health counters diverge from Stats: %+v vs %+v", h, st)
+	}
+	if h.Halted != rt.Halted() || h.ModelFailing != rt.ModelAssessmentFailing() {
+		t.Fatalf("Health safeguard booleans diverge from accessors: %+v", h)
+	}
+}
+
 func TestStatsString(t *testing.T) {
 	s := Stats{Actions: 3, PredictionsIssued: 2}
 	out := s.String()

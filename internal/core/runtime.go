@@ -187,6 +187,26 @@ func (r *Runtime[D, P]) ModelAssessmentFailing() bool {
 	return r.assessBad
 }
 
+// Health returns the runtime's health snapshot under a single lock
+// acquisition — the cheap read path fleet monitors poll between
+// lockstep epochs instead of Stats+Halted+ModelAssessmentFailing
+// (three acquisitions and a full counter copy).
+func (r *Runtime[D, P]) Health() Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Health{
+		Halted:                    r.halted,
+		ModelFailing:              r.assessBad,
+		Actions:                   r.stats.Actions,
+		ActuatorSafeguardTriggers: r.stats.ActuatorSafeguardTriggers,
+		ModelSafeguardTriggers:    r.stats.ModelSafeguardTriggers,
+		Mitigations:               r.stats.Mitigations,
+		ScheduleViolations:        r.stats.ScheduleViolations,
+		DataRejected:              r.stats.DataRejected,
+		DataCollected:             r.stats.DataCollected,
+	}
+}
+
 // --- Model loop ---
 
 // scheduleCollect arms the collect timer for the intended time,

@@ -62,11 +62,48 @@ func (c Config) workers() int {
 	return w
 }
 
+// DefaultStart is the repository-wide virtual start instant, used
+// when Config.Start is zero. Exported so callers that phrase events
+// in absolute virtual time (e.g. fault windows in rollout scenarios)
+// anchor to the same epoch.
+var DefaultStart = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+
 func (c Config) start() time.Time {
 	if c.Start.IsZero() {
-		return time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+		return DefaultStart
 	}
 	return c.Start
+}
+
+// forEach runs fn(idx) for every idx in [0, n) on a pool of workers
+// goroutines and waits for all to finish. The channel handoff and
+// WaitGroup supply the happens-before edges that let lock-elided
+// single-driver node clocks migrate between worker goroutines across
+// calls. Both fleet drivers (batch Run and the lockstep Coordinator)
+// schedule through here.
+func forEach(n, workers int, fn func(idx int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				fn(idx)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // KindStats aggregates one agent kind across the fleet.
@@ -149,6 +186,14 @@ type nodeResult struct {
 // Report — because every node's simulation is single-goroutine
 // deterministic and results merge in node-index order.
 //
+// Run is output-equivalent to RunStepped with interval = Duration
+// (tested), but deliberately remains a separate streaming driver: it
+// runs each node start-to-finish and releases its substrate before
+// the worker takes the next, so peak memory is bounded by the pool
+// width. The lockstep Coordinator must keep every node alive for the
+// whole run — the price of mid-horizon observation — which matters at
+// thousands of nodes.
+//
 // The first node error aborts the run (pending nodes are skipped) and
 // is returned with a nil report.
 func Run(cfg Config) (*Report, error) {
@@ -157,42 +202,47 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	results := make([]nodeResult, cfg.Nodes)
-	jobs := make(chan int)
 	var abort atomic.Bool
+	forEach(cfg.Nodes, cfg.workers(), func(idx int) {
+		if abort.Load() {
+			return
+		}
+		results[idx] = runNode(cfg, idx)
+		if results[idx].err != nil {
+			abort.Store(true)
+		}
+	})
 
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				if abort.Load() {
-					continue
-				}
-				results[idx] = runNode(cfg, idx)
-				if results[idx].err != nil {
-					abort.Store(true)
-				}
-			}
-		}()
-	}
-	for i := 0; i < cfg.Nodes; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	rep := &Report{
-		Nodes:    cfg.Nodes,
-		Duration: cfg.Duration,
-		Kinds:    make(map[string]*KindStats),
-	}
+	var events uint64
+	statuses := make([][]MemberStatus, cfg.Nodes)
 	for i := range results {
 		if err := results[i].err; err != nil {
 			return nil, fmt.Errorf("fleet: node %d: %w", i, err)
 		}
-		rep.Events += results[i].events
-		for _, st := range results[i].statuses {
+		events += results[i].events
+		statuses[i] = results[i].statuses
+	}
+	return aggregate(cfg.Nodes, cfg.Duration, cfg.start(), events, statuses), nil
+}
+
+// aggregate merges per-node member snapshots into a fleet report, in
+// node-index order so the result is deterministic regardless of which
+// worker simulated which node. dur is the horizon ending at start+dur;
+// each member's deadline floor is judged over its own lifetime within
+// that horizon (members redeployed mid-run by Supervisor.Replace have
+// restarted counters, so holding them to the full-horizon floor would
+// misreport them as non-compliant). Both the batch driver (Run) and
+// the lockstep driver (Coordinator.Report) reduce through here, so the
+// two views of the same fleet are directly comparable.
+func aggregate(nodes int, dur time.Duration, start time.Time, events uint64, statuses [][]MemberStatus) *Report {
+	rep := &Report{
+		Nodes:    nodes,
+		Duration: dur,
+		Events:   events,
+		Kinds:    make(map[string]*KindStats),
+	}
+	for _, node := range statuses {
+		for _, st := range node {
 			rep.Agents++
 			ks := rep.Kinds[st.Kind]
 			if ks == nil {
@@ -208,14 +258,20 @@ func Run(cfg Config) (*Report, error) {
 			}
 			if st.MaxActuationDelay > 0 && st.Stats.ActuatorSafeguardTriggers == 0 {
 				ks.DeadlineEligible++
-				if st.Stats.Actions >= st.DeadlineFloor(cfg.Duration) {
+				window := dur
+				if !st.Stats.StartedAt.IsZero() {
+					if lived := dur - st.Stats.StartedAt.Sub(start); lived < window {
+						window = lived
+					}
+				}
+				if st.Stats.Actions >= st.DeadlineFloor(window) {
 					ks.DeadlineMet++
 				}
 			}
 			ks.Stats.Add(st.Stats)
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // runNode simulates one node end to end on its own virtual clock. The

@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"sol/internal/core"
+)
+
+// TestReportStringGolden pins the operator-facing report table exactly
+// — the control plane's determinism contract renders through it — with
+// both deadline-column edge cases: "met/eligible" when agents carry an
+// actuation deadline, and "n/a" when no agent of the kind is eligible
+// (no configured deadline, or every agent's safeguard halted it).
+func TestReportStringGolden(t *testing.T) {
+	t.Parallel()
+	rep := &Report{
+		Nodes: 2, Agents: 4, Duration: 30 * time.Second, Events: 987654,
+		Kinds: map[string]*KindStats{
+			"harvest": {
+				Agents: 2, Halted: 1, ModelFailing: 1,
+				DeadlineMet: 1, DeadlineEligible: 2,
+				Stats: core.Stats{
+					Actions: 600, ActionsOnModel: 500, ActionsOnDefault: 90,
+					ActionsWithoutPrediction: 10, Mitigations: 3,
+				},
+			},
+			// DeadlineEligible 0 must render "n/a", not "0/0": a kind
+			// with no eligible agents has no compliance to report.
+			"memory": {
+				Agents: 2,
+				Stats:  core.Stats{Actions: 4, ActionsOnDefault: 4},
+			},
+		},
+	}
+	want := "fleet: 2 nodes, 4 agents, 30s simulated, 987654 events\n" +
+		"kind        agents   actions  on-model   default  no-pred  halted failing   mitig  deadline\n" +
+		"harvest          2       600       500        90       10       1       1       3       1/2\n" +
+		"memory           2         4         0         4        0       0       0       0       n/a"
+	if got := rep.String(); got != want {
+		t.Fatalf("report rendering drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// An all-zero-eligible fleet-wide report still renders every kind
+	// row; a kind whose agents all halted (eligible 0, met 0) is "n/a"
+	// even though it has deadline-bearing members.
+	halted := &Report{
+		Nodes: 1, Agents: 1, Duration: time.Minute, Events: 10,
+		Kinds: map[string]*KindStats{
+			"overclock": {Agents: 1, Halted: 1, Stats: core.Stats{Actions: 2, ActuatorSafeguardTriggers: 1, Mitigations: 1}},
+		},
+	}
+	wantHalted := "fleet: 1 nodes, 1 agents, 1m0s simulated, 10 events\n" +
+		"kind        agents   actions  on-model   default  no-pred  halted failing   mitig  deadline\n" +
+		"overclock        1         2         0         0        0       1       0       1       n/a"
+	if got := halted.String(); got != wantHalted {
+		t.Fatalf("halted-kind rendering drifted:\ngot:\n%s\nwant:\n%s", got, wantHalted)
+	}
+}

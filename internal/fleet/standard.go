@@ -59,6 +59,59 @@ func fleetHarvestSchedule() core.Schedule {
 	}
 }
 
+// nodeSeed derives node idx's workload/agent seed root; every
+// per-node stream hangs off it so the fleet is heterogeneous but
+// reproducible.
+func (cfg StandardNodeConfig) nodeSeed(idx int) uint64 {
+	return cfg.Seed*1_000_003 + uint64(idx)
+}
+
+// OverclockVariant returns the baseline SmartOverclock variant
+// StandardNode deploys on node idx. Rollout campaigns derive their
+// candidate from this, so a converted node keeps its per-node seed
+// and only the knobs under study change — and rollback relaunches
+// exactly this variant.
+func (cfg StandardNodeConfig) OverclockVariant(idx int) overclock.Variant {
+	v := overclock.DefaultVariant("batch")
+	v.Config.Seed = cfg.nodeSeed(idx) + 2
+	return v
+}
+
+// HarvestVariant returns the baseline SmartHarvest variant for node
+// idx: the paper calibration with the fleet-coarsened 1 ms sampling
+// schedule and the two-core safety buffer that compensates for it.
+func (cfg StandardNodeConfig) HarvestVariant(idx int) harvest.Variant {
+	v := harvest.DefaultVariant("primary", "elastic")
+	v.Config.Seed = cfg.nodeSeed(idx) + 3
+	v.Config.SafetyBuffer = 2
+	v.Schedule = fleetHarvestSchedule()
+	return v
+}
+
+// LaunchOverclock adapts a SmartOverclock variant to a supervisor
+// LaunchFunc, for Launch and Replace.
+func LaunchOverclock(v overclock.Variant, opts core.Options) LaunchFunc {
+	return func(clk clock.Clock, n *node.Node) (core.Handle, error) {
+		ag, err := overclock.LaunchVariant(clk, n, v, opts)
+		if err != nil {
+			return nil, err
+		}
+		return ag.Handle(), nil
+	}
+}
+
+// LaunchHarvest adapts a SmartHarvest variant to a supervisor
+// LaunchFunc, for Launch and Replace.
+func LaunchHarvest(v harvest.Variant, opts core.Options) LaunchFunc {
+	return func(clk clock.Clock, n *node.Node) (core.Handle, error) {
+		ag, err := harvest.LaunchVariant(clk, n, v, opts)
+		if err != nil {
+			return nil, err
+		}
+		return ag.Handle(), nil
+	}
+}
+
 // StandardNode returns a NodeFunc that builds one production-shaped
 // node: a simulated server with a latency-critical primary VM, an
 // elastic harvest VM, and a batch VM, plus a tiered-memory simulator
@@ -78,7 +131,7 @@ func StandardNode(cfg StandardNodeConfig) NodeFunc {
 		if regions < 1 {
 			return nil, fmt.Errorf("fleet: MemRegions = %d, must be >= 1", cfg.MemRegions)
 		}
-		seed := cfg.Seed*1_000_003 + uint64(idx)
+		seed := cfg.nodeSeed(idx)
 
 		ncfg := node.DefaultConfig()
 		// 1 ms ticks: fine enough for the coarsened harvest sampling,
@@ -114,33 +167,17 @@ func StandardNode(cfg StandardNodeConfig) NodeFunc {
 			var err error
 			switch kind {
 			case overclock.Kind:
-				ocfg := overclock.DefaultConfig("batch")
-				ocfg.Seed = seed + 2
-				err = sup.Launch(kind, kind, overclock.Schedule().MaxActuationDelay,
-					func(clk clock.Clock, n *node.Node) (core.Handle, error) {
-						ag, err := overclock.Launch(clk, n, ocfg, cfg.Options)
-						if err != nil {
-							return nil, err
-						}
-						return ag.Handle(), nil
-					})
+				v := cfg.OverclockVariant(idx)
+				err = sup.Launch(kind, kind, v.Schedule.MaxActuationDelay,
+					LaunchOverclock(v, cfg.Options))
 			case harvest.Kind:
-				hcfg := harvest.DefaultConfig("primary", "elastic")
-				hcfg.Seed = seed + 3
 				// The single-node calibration reacts within 50 µs and
 				// needs no buffer; at 1 ms sampling the model lags
-				// bursts by a full epoch, so grant two spare cores to
-				// keep vCPU wait off the primary.
-				hcfg.SafetyBuffer = 2
-				sched := fleetHarvestSchedule()
-				err = sup.Launch(kind, kind, sched.MaxActuationDelay,
-					func(clk clock.Clock, n *node.Node) (core.Handle, error) {
-						ag, err := harvest.LaunchScheduled(clk, n, hcfg, sched, cfg.Options)
-						if err != nil {
-							return nil, err
-						}
-						return ag.Handle(), nil
-					})
+				// bursts by a full epoch, so the variant grants two
+				// spare cores to keep vCPU wait off the primary.
+				v := cfg.HarvestVariant(idx)
+				err = sup.Launch(kind, kind, v.Schedule.MaxActuationDelay,
+					LaunchHarvest(v, cfg.Options))
 			case memory.Kind:
 				tr := workload.NewSQLTrace(regions, seed+4)
 				mem, merr := memsim.New(clk, memsim.DefaultConfig(regions), tr)

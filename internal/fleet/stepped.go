@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"sol/internal/clock"
+)
+
+// Coordinator drives a fleet in lockstep epochs: every node's virtual
+// clock advances together to the same barrier, and between barriers
+// the whole fleet is quiescent — no callbacks in flight anywhere — so
+// a controller may observe aggregated health and redeploy members
+// (Supervisor.Replace) without racing the simulation. This is the
+// mid-horizon observation and control the batch driver (Run) cannot
+// provide, and it is what the rollout control plane is built on.
+//
+// Within an epoch, nodes still simulate in parallel on the worker
+// pool; the barrier handoff supplies the happens-before edges that let
+// each node's single-driver clock migrate between worker goroutines
+// across epochs. The result is exactly as deterministic as Run: the
+// same config stepped to the same total horizon yields a byte-
+// identical report, whatever the worker count or epoch length.
+type Coordinator struct {
+	cfg     Config
+	nodes   []steppedNode
+	elapsed time.Duration
+	stopped bool
+}
+
+type steppedNode struct {
+	clk *clock.Virtual
+	sup *Supervisor
+}
+
+// NewCoordinator builds every node of the fleet (in parallel on the
+// worker pool) at the virtual start instant, without advancing time.
+// cfg.Duration is the default horizon RunStepped drives; Coordinator
+// itself steps freely. The first setup error stops the already-built
+// nodes and is returned.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, nodes: make([]steppedNode, cfg.Nodes)}
+	errs := make([]error, cfg.Nodes)
+	c.forEachNode(func(idx int) {
+		clk := clock.NewVirtualSingle(cfg.start())
+		sup, err := cfg.Setup(idx, clk)
+		if err == nil && sup == nil {
+			err = fmt.Errorf("setup returned no supervisor")
+		}
+		if err != nil {
+			errs[idx] = err
+			return
+		}
+		c.nodes[idx] = steppedNode{clk: clk, sup: sup}
+	})
+	for idx, err := range errs {
+		if err != nil {
+			c.StopAll()
+			return nil, fmt.Errorf("fleet: node %d: %w", idx, err)
+		}
+	}
+	return c, nil
+}
+
+// forEachNode runs fn(idx) for every node index on the shared worker
+// pool and waits for all to finish — the lockstep barrier.
+func (c *Coordinator) forEachNode(fn func(idx int)) {
+	forEach(len(c.nodes), c.cfg.workers(), fn)
+}
+
+// Nodes returns the fleet size.
+func (c *Coordinator) Nodes() int { return len(c.nodes) }
+
+// Supervisor returns node idx's supervisor, for mid-run observation
+// and member redeployment. Only call between StepFor barriers.
+func (c *Coordinator) Supervisor(idx int) *Supervisor { return c.nodes[idx].sup }
+
+// Elapsed returns the total virtual time stepped so far.
+func (c *Coordinator) Elapsed() time.Duration { return c.elapsed }
+
+// Events returns the total virtual-clock callbacks fired fleet-wide.
+func (c *Coordinator) Events() uint64 {
+	var n uint64
+	for i := range c.nodes {
+		n += c.nodes[i].clk.Fired()
+	}
+	return n
+}
+
+// StepFor advances every node's clock by d in lockstep and returns
+// once the whole fleet has reached the new barrier.
+func (c *Coordinator) StepFor(d time.Duration) {
+	if d <= 0 || c.stopped {
+		return
+	}
+	c.forEachNode(func(idx int) {
+		c.nodes[idx].clk.RunFor(d)
+	})
+	c.elapsed += d
+}
+
+// Drive advances the fleet from the current barrier to horizon in
+// lockstep epochs of interval, truncating the final epoch so the
+// elapsed time lands exactly on the horizon — the rule that makes a
+// stepped run's report byte-identical to a batch Run of the same
+// config. observe, if non-nil, runs after every epoch with the fleet
+// quiescent; its error aborts the drive and is returned.
+func (c *Coordinator) Drive(horizon, interval time.Duration, observe func(epoch int, step time.Duration) error) error {
+	if interval <= 0 {
+		return fmt.Errorf("fleet: stepped interval = %v, must be positive", interval)
+	}
+	for epoch := 1; c.elapsed < horizon; epoch++ {
+		step := interval
+		if remaining := horizon - c.elapsed; step > remaining {
+			step = remaining
+		}
+		c.StepFor(step)
+		if observe != nil {
+			if err := observe(epoch, step); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Report aggregates the fleet at the current barrier, exactly as Run
+// reports a finished batch fleet; Duration is the time stepped so far.
+func (c *Coordinator) Report() *Report {
+	statuses := make([][]MemberStatus, len(c.nodes))
+	c.forEachNode(func(idx int) {
+		statuses[idx] = c.nodes[idx].sup.Status()
+	})
+	return aggregate(len(c.nodes), c.elapsed, c.cfg.start(), c.Events(), statuses)
+}
+
+// StopAll stops every node's supervisor (running each Actuator's
+// CleanUp). It is idempotent; nodes built before a setup error are
+// stopped too.
+func (c *Coordinator) StopAll() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.forEachNode(func(idx int) {
+		if c.nodes[idx].sup != nil {
+			c.nodes[idx].sup.StopAll()
+		}
+	})
+}
+
+// RunStepped simulates the fleet like Run but through a Coordinator in
+// lockstep epochs of interval. observe, if non-nil, runs after every
+// epoch with the fleet quiescent at the barrier; it may inspect any
+// supervisor and redeploy members. A non-nil error from observe aborts
+// the run and is returned. The final epoch is truncated so the total
+// horizon is exactly cfg.Duration, which makes a stepped run's report
+// directly comparable to — in fact, identical to — a batch Run of the
+// same config.
+func RunStepped(cfg Config, interval time.Duration, observe func(epoch int, c *Coordinator) error) (*Report, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("fleet: stepped interval = %v, must be positive", interval)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.StopAll()
+	err = c.Drive(cfg.Duration, interval, func(epoch int, _ time.Duration) error {
+		if observe == nil {
+			return nil
+		}
+		return observe(epoch, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.Report(), nil
+}

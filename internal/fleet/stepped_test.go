@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/node"
+)
+
+// TestSteppedMatchesBatch is the lockstep driver's core contract: the
+// same fleet config driven to the same horizon produces a report
+// byte-identical to batch Run, whatever the epoch length. Lockstep
+// observability must cost nothing in fidelity.
+func TestSteppedMatchesBatch(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Nodes:    6,
+		Duration: 4 * time.Second,
+		Workers:  3,
+		Setup:    StandardNode(StandardNodeConfig{Seed: 21}),
+	}
+	batch, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, interval := range []time.Duration{time.Second, 700 * time.Millisecond, 4 * time.Second} {
+		stepped, err := RunStepped(cfg, interval, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch, stepped) {
+			t.Fatalf("interval %v: stepped report diverged from batch:\n%v\nvs\n%v",
+				interval, batch, stepped)
+		}
+		if batch.String() != stepped.String() {
+			t.Fatalf("interval %v: rendered reports differ", interval)
+		}
+	}
+}
+
+// TestSteppedObserveBarriers checks the observe hook fires once per
+// epoch with the fleet quiescent and monotonically advancing time, and
+// that its error aborts the run.
+func TestSteppedObserveBarriers(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Nodes:    2,
+		Duration: 2500 * time.Millisecond,
+		Workers:  2,
+		Setup:    StandardNode(StandardNodeConfig{Seed: 2, Kinds: []string{"overclock"}}),
+	}
+	var epochs []time.Duration
+	_, err := RunStepped(cfg, time.Second, func(epoch int, c *Coordinator) error {
+		if epoch != len(epochs)+1 {
+			t.Fatalf("observe epoch %d out of order", epoch)
+		}
+		epochs = append(epochs, c.Elapsed())
+		if h := c.Supervisor(0).Health(); h.Members != 1 {
+			t.Fatalf("epoch %d: node 0 has %d members, want 1", epoch, h.Members)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 2500 * time.Millisecond}
+	if !reflect.DeepEqual(epochs, want) {
+		t.Fatalf("barrier times = %v, want %v (final epoch truncated to the horizon)", epochs, want)
+	}
+
+	boom := errors.New("gate tripped")
+	_, err = RunStepped(cfg, time.Second, func(epoch int, c *Coordinator) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("observe error not propagated: %v", err)
+	}
+}
+
+// TestSteppedReplaceDeadlineWindow pins the aggregation rule for
+// members redeployed mid-run: a replacement's restarted Actions
+// counter is judged against the deadline floor of its own lifetime,
+// not the full horizon — otherwise every converted or rolled-back
+// agent that acts near its floor would be misreported as
+// non-compliant.
+func TestSteppedReplaceDeadlineWindow(t *testing.T) {
+	t.Parallel()
+	sched := core.Schedule{
+		DataPerEpoch: 4, DataCollectInterval: 100 * time.Millisecond,
+		MaxEpochTime: 800 * time.Millisecond, AssessModelEvery: 1,
+		MaxActuationDelay: 500 * time.Millisecond, AssessActuatorInterval: time.Second,
+	}
+	launch := func(clk clock.Clock, _ *node.Node) (core.Handle, error) {
+		return core.Run[int, int](clk, &testModel{clk: clk, ttl: time.Second}, &testActuator{clk: clk}, sched, core.Options{})
+	}
+	cfg := Config{
+		Nodes:    1,
+		Duration: 30 * time.Second,
+		Setup: func(idx int, clk *clock.Virtual) (*Supervisor, error) {
+			sup := NewSupervisor(clk, nil)
+			return sup, sup.Launch("agent", "agent", sched.MaxActuationDelay, launch)
+		},
+	}
+	rep, err := RunStepped(cfg, 5*time.Second, func(epoch int, c *Coordinator) error {
+		if epoch == 3 { // t=15s: redeploy with half the horizon left
+			return c.Supervisor(0).Replace("agent", sched.MaxActuationDelay, launch)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := rep.Kinds["agent"]
+	if ks == nil || ks.DeadlineEligible != 1 {
+		t.Fatalf("replaced agent not deadline-eligible: %+v", rep)
+	}
+	if ks.DeadlineMet != 1 {
+		t.Fatalf("replaced agent judged against the full-horizon floor: %d actions vs floor %d over its 15s lifetime (report: %+v)",
+			ks.Stats.Actions, (MemberStatus{MaxActuationDelay: sched.MaxActuationDelay}).DeadlineFloor(15*time.Second), ks)
+	}
+}
+
+// TestSupervisorReplaceConcurrent hammers Replace for the same member
+// from several goroutines on the real clock: replacements must
+// serialize so that every agent ever launched is eventually stopped
+// (by the next Replace or by StopAll) — a lost race here would leak a
+// live agent invisible to StopAll.
+func TestSupervisorReplaceConcurrent(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewReal()
+	sup := NewSupervisor(clk, nil)
+	sched := core.Schedule{
+		DataPerEpoch: 2, DataCollectInterval: 5 * time.Millisecond,
+		MaxEpochTime: 50 * time.Millisecond, MaxActuationDelay: 20 * time.Millisecond,
+	}
+	var mu sync.Mutex
+	var acts []*testActuator
+	mk := func() LaunchFunc {
+		return func(clk clock.Clock, _ *node.Node) (core.Handle, error) {
+			a := &testActuator{clk: clk}
+			mu.Lock()
+			acts = append(acts, a)
+			mu.Unlock()
+			return core.Run[int, int](clk, &testModel{clk: clk, ttl: 100 * time.Millisecond}, a, sched, core.Options{})
+		}
+	}
+	if err := sup.Launch("k", "x", sched.MaxActuationDelay, mk()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if err := sup.Replace("x", sched.MaxActuationDelay, mk()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sup.StopAll()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(acts) != 21 {
+		t.Fatalf("launched %d agents, want 21 (1 + 4x5 replacements)", len(acts))
+	}
+	for i, a := range acts {
+		a.mu.Lock()
+		cleaned := a.cleanups
+		a.mu.Unlock()
+		if cleaned == 0 {
+			t.Fatalf("agent %d of %d leaked: CleanUp never ran", i, len(acts))
+		}
+	}
+}
+
+// TestCoordinatorSetupError checks partial-fleet cleanup on a node
+// setup failure.
+func TestCoordinatorSetupError(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("boom")
+	std := StandardNode(StandardNodeConfig{Kinds: []string{"overclock"}})
+	_, err := NewCoordinator(Config{
+		Nodes:    4,
+		Duration: time.Second,
+		Workers:  2,
+		Setup: func(idx int, clk *clock.Virtual) (*Supervisor, error) {
+			if idx == 2 {
+				return nil, boom
+			}
+			return std(idx, clk)
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("coordinator error = %v, want wrapped %v", err, boom)
+	}
+}
+
+// TestSupervisorReplace exercises the rollout/rollback primitive: a
+// member is redeployed in place, its counters restart, its kind, name,
+// and attach position survive, and the old agent's CleanUp ran.
+func TestSupervisorReplace(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewVirtual(testEpoch)
+	sup, acts, err := colocate(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.StopAll()
+	clk.RunFor(5 * time.Second)
+
+	before := statusByName(sup.Status())
+	if before["fast"].Stats.Actions == 0 {
+		t.Fatal("fast took no actions before replacement")
+	}
+
+	// Replace "fast" with a slower variant of itself.
+	repl := &testActuator{clk: clk}
+	sched := core.Schedule{
+		DataPerEpoch: 4, DataCollectInterval: 100 * time.Millisecond,
+		MaxEpochTime: 800 * time.Millisecond, AssessModelEvery: 1,
+		MaxActuationDelay: time.Second, AssessActuatorInterval: time.Second,
+	}
+	err = sup.Replace("fast", sched.MaxActuationDelay,
+		func(clk clock.Clock, _ *node.Node) (core.Handle, error) {
+			return core.Run[int, int](clk, &testModel{clk: clk, ttl: time.Second}, repl, sched, core.Options{})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts["fast"].cleanups == 0 {
+		t.Fatal("replaced member's CleanUp never ran")
+	}
+
+	clk.RunFor(5 * time.Second)
+	after := sup.Status()
+	if after[0].Name != "fast" || after[0].Kind != "fast" {
+		t.Fatalf("replacement lost attach position or identity: %+v", after[0])
+	}
+	if after[0].MaxActuationDelay != time.Second {
+		t.Fatalf("replacement deadline = %v, want 1s", after[0].MaxActuationDelay)
+	}
+	st := after[0].Stats
+	// The replacement's counters restarted at the replace instant and
+	// it met its own (slower) deadline floor over the 5 s since.
+	if st.Actions == 0 || st.Actions >= before["fast"].Stats.Actions {
+		t.Fatalf("replacement actions = %d, want restarted count below predecessor's %d",
+			st.Actions, before["fast"].Stats.Actions)
+	}
+	if st.Actions < (MemberStatus{MaxActuationDelay: time.Second}).DeadlineFloor(5*time.Second) {
+		t.Fatalf("replacement missed its deadline floor: %d actions in 5s", st.Actions)
+	}
+	if repl.actions == 0 {
+		t.Fatal("replacement actuator never acted")
+	}
+
+	// Error paths: unknown member; stopped supervisor.
+	if err := sup.Replace("nope", 0, func(clock.Clock, *node.Node) (core.Handle, error) {
+		t.Fatal("launch called for unknown member")
+		return nil, nil
+	}); err == nil {
+		t.Fatal("replace of unknown member accepted")
+	}
+	sup.StopAll()
+	if err := sup.Replace("fast", 0, func(clock.Clock, *node.Node) (core.Handle, error) {
+		return nil, nil
+	}); err == nil {
+		t.Fatal("replace on stopped supervisor accepted")
+	}
+}

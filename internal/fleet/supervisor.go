@@ -88,6 +88,13 @@ type Supervisor struct {
 	members []Member
 	byName  map[string]int
 	stopped bool
+
+	// replaceMu serializes Replace calls end to end. Replace must drop
+	// mu around the old agent's Stop and the new launch (both run
+	// agent code), and without this two concurrent Replaces of the
+	// same member would each install a handle — the loser's agent
+	// leaking alive, unreachable by StopAll.
+	replaceMu sync.Mutex
 }
 
 // NewSupervisor returns an empty supervisor on clk. n is the shared
@@ -175,19 +182,97 @@ func (s *Supervisor) Status() []MemberStatus {
 	return out
 }
 
-// Health summarizes current safeguard state across members.
+// Health summarizes current safeguard state across members. It uses
+// the runtimes' single-lock health snapshots rather than full Status
+// copies, so fleet monitors can call it every observation interval.
 func (s *Supervisor) Health() Health {
 	var h Health
-	for _, st := range s.Status() {
+	for _, m := range s.Members() {
+		mh := m.Handle.Health()
 		h.Members++
-		if st.Halted {
+		if mh.Halted {
 			h.Halted++
 		}
-		if st.ModelFailing {
+		if mh.ModelFailing {
 			h.ModelFailing++
 		}
 	}
 	return h
+}
+
+// MemberHealth pairs one member's identity with its cheap runtime
+// health snapshot — the per-agent view the control plane aggregates
+// into rollout-gate cohort health between lockstep epochs.
+type MemberHealth struct {
+	Kind string
+	Name string
+	// MaxActuationDelay echoes the member's configured deadline, for
+	// per-interval deadline-compliance accounting.
+	MaxActuationDelay time.Duration
+	Health            core.Health
+}
+
+// HealthDetail snapshots every member's health, in attach order.
+func (s *Supervisor) HealthDetail() []MemberHealth {
+	members := s.Members()
+	out := make([]MemberHealth, len(members))
+	for i, m := range members {
+		out[i] = MemberHealth{
+			Kind:              m.Kind,
+			Name:              m.Name,
+			MaxActuationDelay: m.MaxActuationDelay,
+			Health:            m.Handle.Health(),
+		}
+	}
+	return out
+}
+
+// Replace redeploys the member named name: the running agent is
+// stopped (its Actuator's CleanUp restores a clean substrate), then
+// launch builds its successor at the same virtual instant, keeping the
+// member's kind, name, and attach position. deadline is the
+// replacement's MaxActuationDelay. This is the control plane's
+// rollout/rollback primitive — convert a node to a candidate variant,
+// or revert it to baseline.
+//
+// If launch fails the member stays attached with its stopped handle
+// (counters frozen, safeguards clear) and the error is returned; the
+// node is then agent-less for that kind, which callers must treat as a
+// failed deployment, not a healthy node.
+func (s *Supervisor) Replace(name string, deadline time.Duration, launch LaunchFunc) error {
+	s.replaceMu.Lock()
+	defer s.replaceMu.Unlock()
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: supervisor is stopped")
+	}
+	idx, ok := s.byName[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: no member %q to replace", name)
+	}
+	old := s.members[idx]
+	s.mu.Unlock()
+
+	// Stop first so CleanUp hands the replacement a clean substrate; no
+	// virtual time passes between the stop and the relaunch.
+	old.Handle.Stop()
+	h, err := launch(s.clk, s.n)
+	if err != nil {
+		return fmt.Errorf("fleet: replace %s/%s: %w", old.Kind, name, err)
+	}
+	s.mu.Lock()
+	if s.stopped {
+		// StopAll won the race; the replacement must not outlive it.
+		s.mu.Unlock()
+		h.Stop()
+		return fmt.Errorf("fleet: supervisor stopped during replace of %q", name)
+	}
+	s.members[idx].Handle = h
+	s.members[idx].MaxActuationDelay = deadline
+	s.mu.Unlock()
+	return nil
 }
 
 // StopAll stops every member (running each Actuator's CleanUp) and

@@ -152,6 +152,79 @@ func Table2() []LearningAgent {
 	}
 }
 
+// FailureClass is the paper's characterization (§3.2) of the failure
+// conditions that production on-node agents must survive: bad input
+// data, inaccurate models, scheduling delays, and environmental
+// interference with the agent's end-to-end behaviour. SOL's four
+// runtime mechanisms map one-to-one onto these classes, and the fleet
+// control plane tags every failed rollout gate with the class it
+// tripped on, so an operator reading a rollback report knows which of
+// the paper's failure conditions the candidate variant ran into.
+type FailureClass int
+
+const (
+	// FailureNone means no failure condition was identified.
+	FailureNone FailureClass = iota
+	// FailureBadData is invalid or corrupt input telemetry — the
+	// condition data validation guards against.
+	FailureBadData
+	// FailureInaccurateModel is a model failing its accuracy
+	// assessment — the condition prediction interception guards
+	// against.
+	FailureInaccurateModel
+	// FailureSchedulingDelay is agent starvation by higher-priority
+	// host work — the condition the decoupled, deadline-driven
+	// actuator guards against.
+	FailureSchedulingDelay
+	// FailureEnvironment is unacceptable end-to-end behaviour from
+	// environmental interference (or a misbehaving agent) — the
+	// condition the actuator performance safeguard guards against.
+	FailureEnvironment
+)
+
+// String returns the class's short operator-facing label.
+func (f FailureClass) String() string {
+	switch f {
+	case FailureNone:
+		return "none"
+	case FailureBadData:
+		return "bad-input-data"
+	case FailureInaccurateModel:
+		return "inaccurate-model"
+	case FailureSchedulingDelay:
+		return "scheduling-delay"
+	case FailureEnvironment:
+		return "environment-interference"
+	default:
+		return fmt.Sprintf("failure-class(%d)", int(f))
+	}
+}
+
+// Describe returns the class's one-line description, phrased the way
+// §3.2 characterizes the condition.
+func (f FailureClass) Describe() string {
+	switch f {
+	case FailureNone:
+		return "no failure condition identified"
+	case FailureBadData:
+		return "invalid or corrupt input telemetry reached the agent"
+	case FailureInaccurateModel:
+		return "the learned model is producing inaccurate predictions"
+	case FailureSchedulingDelay:
+		return "the agent's loops are being delayed or starved by host work"
+	case FailureEnvironment:
+		return "end-to-end behaviour is unacceptable due to environmental interference"
+	default:
+		return "unknown failure class"
+	}
+}
+
+// FailureClasses lists the four failure conditions, in the order the
+// paper introduces them.
+func FailureClasses() []FailureClass {
+	return []FailureClass{FailureBadData, FailureInaccurateModel, FailureSchedulingDelay, FailureEnvironment}
+}
+
 // RenderTable1 formats Table 1 as aligned text.
 func RenderTable1() string {
 	var b strings.Builder

@@ -80,3 +80,35 @@ func TestRendering(t *testing.T) {
 		t.Fatalf("Table 2 rendering has %d lines, want 7", lines)
 	}
 }
+
+// TestFailureClasses pins the §3.2 failure-condition labels the
+// control plane stamps on failed rollout gates.
+func TestFailureClasses(t *testing.T) {
+	want := map[FailureClass]string{
+		FailureNone:            "none",
+		FailureBadData:         "bad-input-data",
+		FailureInaccurateModel: "inaccurate-model",
+		FailureSchedulingDelay: "scheduling-delay",
+		FailureEnvironment:     "environment-interference",
+	}
+	for class, label := range want {
+		if class.String() != label {
+			t.Fatalf("%d.String() = %q, want %q", int(class), class.String(), label)
+		}
+		if class.Describe() == "" || class.Describe() == "unknown failure class" {
+			t.Fatalf("%s has no description", label)
+		}
+	}
+	classes := FailureClasses()
+	if len(classes) != 4 {
+		t.Fatalf("FailureClasses lists %d conditions, want the paper's 4", len(classes))
+	}
+	for _, c := range classes {
+		if c == FailureNone {
+			t.Fatal("FailureNone listed as a failure condition")
+		}
+	}
+	if got := FailureClass(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("out-of-range class renders as %q", got)
+	}
+}

@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
-# bench.sh — run the event-engine hot-path benchmarks and emit a JSON
-# snapshot (default BENCH_PR2.json) with ns/op, events/s, and allocs/op
-# per benchmark. The snapshot starts the repo's perf trajectory: each
-# perf PR records its numbers here so regressions are diffable across
-# machines and PRs (pair with benchstat for significance testing).
+# bench.sh — run the hot-path and fleet benchmarks and emit a JSON
+# snapshot with ns/op, events/s, and allocs/op per benchmark. The
+# snapshot records the repo's perf trajectory: each perf PR appends its
+# numbers here so regressions are diffable across machines and PRs
+# (pair with benchstat for significance testing).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR3.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR2.json}
+out=${1:-BENCH_PR3.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -17,10 +17,12 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -benchmem \
   -bench 'BenchmarkVirtualClock$|BenchmarkVirtualClockLocked$|BenchmarkVirtualAfterFunc$|BenchmarkRuntimeEpoch$|BenchmarkWindowPercentile$' \
   . | tee "$tmp"
-# Fleet benchmarks: whole-system events/s. A few fixed iterations keep
-# the run short; each iteration is already a 64-node simulation.
+# Fleet benchmarks: whole-system events/s for the batch driver, the
+# lockstep (control-plane) driver, and a full rollout campaign. A few
+# fixed iterations keep the run short; each iteration is already a
+# multi-node simulation.
 go test -run '^$' -benchmem -benchtime=3x \
-  -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$' \
+  -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$|BenchmarkFleetStepped64$|BenchmarkRollout32$' \
   . | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
