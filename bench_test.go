@@ -245,6 +245,49 @@ func BenchmarkRollout32(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkRolloutManifest32 is BenchmarkRollout32 driven from a
+// declarative JSON manifest: the campaign is parsed and its agent
+// specs are resolved against the kind registry at every deploy.
+// Events/s must stay within noise of the closure-built rollout — spec
+// resolution happens only at wave boundaries, never on the per-event
+// hot path.
+func BenchmarkRolloutManifest32(b *testing.B) {
+	const manifest = `{
+		"nodes": 32, "duration": "45s", "interval": "5s",
+		"kinds": ["harvest"], "seed": 1,
+		"campaign": {
+			"name": "buffer-3", "seed": 1,
+			"targets": [{"candidate": {
+				"kind": "harvest", "variant": "buffer-3",
+				"params": {"Config": {"SafetyBuffer": 3}}
+			}}]
+		}
+	}`
+	var events uint64
+	completed := true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := controlplane.ParseManifest([]byte(manifest))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg, err := m.Config()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := controlplane.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Fleet.Events
+		completed = completed && rep.Completed
+	}
+	if !completed {
+		b.Fatal("manifest rollout did not complete")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // --- Microbenchmarks: the runtime and learner hot paths ---
 
 type nopModel struct{ clk clock.Clock }

@@ -1,24 +1,32 @@
 // Command solrollout runs a fleet rollout campaign under the SOL
-// control plane: a SmartHarvest variant is deployed across a simulated
-// fleet in health-gated waves (1% → 5% → 25% → 100% by default), every
-// node advancing in deterministic lockstep epochs. Each wave proceeds
-// only while the converted cohort passes the health gate; a failed
-// gate rolls the whole cohort back to the baseline variant and names
-// the paper's §3.2 failure class it tripped on.
+// control plane: agent variants are deployed across a simulated fleet
+// in health-gated waves (1% → 5% → 25% → 100% by default), every node
+// advancing in deterministic lockstep epochs. Each wave proceeds only
+// while the converted cohort passes the shared health gate; a failed
+// gate rolls the whole cohort — every target kind — back to the
+// baseline variants and names the paper's §3.2 failure class it
+// tripped on.
 //
-// Three built-in scenarios demonstrate the control plane:
+// Campaigns come from two places. Three built-in scenarios demonstrate
+// the control plane:
 //
 //	healthy      a sane candidate; completes at 100%
 //	bad-variant  a botched candidate; caught and rolled back at the canary
 //	fault-storm  a scheduling-delay storm during wave 3; rolled back,
 //	             while SOL's decoupled actuators keep deadlines met
 //
+// Or a JSON campaign manifest declares the whole run — fleet, wave
+// plan, gate, and one or more agent-variant targets — so rollouts can
+// be stored, reviewed, and diffed like any other config:
+//
+//	solrollout -config examples/rollout/manifest.json
+//
 // Usage:
 //
 //	solrollout                                   # healthy, 100 nodes
 //	solrollout -scenario bad-variant -nodes 250
 //	solrollout -scenario fault-storm -waves 0.02,0.1,0.5,1 -soak 3
-//	solrollout -nodes 16 -duration 1m -interval 5s -seed 7
+//	solrollout -config manifest.json -expect rollback
 package main
 
 import (
@@ -35,6 +43,8 @@ import (
 
 func main() {
 	var (
+		config = flag.String("config", "",
+			"campaign manifest (JSON); overrides the scenario flags")
 		scenario = flag.String("scenario", controlplane.ScenarioHealthy,
 			"campaign scenario: "+strings.Join(controlplane.Scenarios(), ", "))
 		nodes    = flag.Int("nodes", 100, "number of simulated nodes")
@@ -56,40 +66,57 @@ func main() {
 		log.Fatalf("solrollout: -expect %q, want complete or rollback", *expect)
 	}
 
-	var kinds []string
-	for _, k := range strings.Split(*agents, ",") {
-		if k = strings.TrimSpace(k); k != "" {
-			kinds = append(kinds, k)
+	var cfg controlplane.Config
+	if *config != "" {
+		m, err := controlplane.LoadManifest(*config)
+		if err != nil {
+			log.Fatalf("solrollout: %v", err)
 		}
-	}
-	var fracs []float64
-	if *waves != "" {
-		for _, w := range strings.Split(*waves, ",") {
-			f, err := strconv.ParseFloat(strings.TrimSpace(w), 64)
-			if err != nil {
-				log.Fatalf("solrollout: bad wave fraction %q: %v", w, err)
+		cfg, err = m.Config()
+		if err != nil {
+			log.Fatalf("solrollout: %v", err)
+		}
+	} else {
+		var kinds []string
+		for _, k := range strings.Split(*agents, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kinds = append(kinds, k)
 			}
-			fracs = append(fracs, f)
+		}
+		var fracs []float64
+		if *waves != "" {
+			for _, w := range strings.Split(*waves, ",") {
+				f, err := strconv.ParseFloat(strings.TrimSpace(w), 64)
+				if err != nil {
+					log.Fatalf("solrollout: bad wave fraction %q: %v", w, err)
+				}
+				fracs = append(fracs, f)
+			}
+		}
+		var err error
+		cfg, err = controlplane.NewScenario(controlplane.ScenarioSpec{
+			Scenario:   *scenario,
+			Nodes:      *nodes,
+			Duration:   *duration,
+			Interval:   *interval,
+			Waves:      fracs,
+			SoakEpochs: *soak,
+			Kinds:      kinds,
+			Seed:       *seed,
+			Workers:    *workers,
+		})
+		if err != nil {
+			log.Fatalf("solrollout: %v", err)
 		}
 	}
 
-	cfg, err := controlplane.NewScenario(controlplane.ScenarioSpec{
-		Scenario:   *scenario,
-		Nodes:      *nodes,
-		Duration:   *duration,
-		Interval:   *interval,
-		Waves:      fracs,
-		SoakEpochs: *soak,
-		Kinds:      kinds,
-		Seed:       *seed,
-		Workers:    *workers,
-	})
-	if err != nil {
-		log.Fatalf("solrollout: %v", err)
+	if camp := cfg.Campaign; camp != nil {
+		fmt.Printf("rolling out %q (kinds %s) across %d nodes for %v, %v lockstep epochs...\n",
+			camp.Name, strings.Join(camp.Kinds(), "+"), cfg.Fleet.Nodes, cfg.Fleet.Duration, cfg.Interval)
+	} else {
+		fmt.Printf("driving %d nodes for %v with no campaign, %v lockstep epochs...\n",
+			cfg.Fleet.Nodes, cfg.Fleet.Duration, cfg.Interval)
 	}
-
-	fmt.Printf("rolling out %q (kind %s) across %d nodes for %v, %v lockstep epochs...\n",
-		cfg.Campaign.Name, cfg.Campaign.Kind, *nodes, *duration, *interval)
 	wall := time.Now()
 	rep, err := controlplane.Run(cfg)
 	if err != nil {
@@ -99,7 +126,7 @@ func main() {
 
 	fmt.Println()
 	fmt.Println(rep)
-	simulated := time.Duration(*nodes) * *duration
+	simulated := time.Duration(cfg.Fleet.Nodes) * cfg.Fleet.Duration
 	fmt.Printf("\nwall time %v: %.0fx real time, %.2fM events (%.2fM events/s)\n",
 		elapsed.Round(time.Millisecond),
 		simulated.Seconds()/elapsed.Seconds(),

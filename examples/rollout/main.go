@@ -17,6 +17,14 @@
 //     campaign rolls back — and the fleet ends the horizon exactly as
 //     healthy as if the campaign had never run.
 //
+// It then loads manifest.json — a coordinated multi-kind campaign
+// declared entirely as data: a bad harvest variant and a benign
+// overclock variant convert together, the shared gate catches the bad
+// member at the canary, and both kinds roll back as one unit. The same
+// manifest runs from the command line:
+//
+//	go run ./cmd/solrollout -config examples/rollout/manifest.json
+//
 // Run it:
 //
 //	go run ./examples/rollout
@@ -24,6 +32,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"sol/internal/controlplane"
@@ -58,4 +67,32 @@ func main() {
 
 	fmt.Printf("\nblast radius: %d of %d nodes ever ran %q; failure class: %s (%s)\n",
 		bad.MaxConverted, bad.Nodes, bad.Campaign, bad.Failure, bad.Failure.Describe())
+
+	fmt.Println("\n--- 3. declarative multi-kind campaign from manifest.json ---")
+	m, err := controlplane.LoadManifest(manifestPath())
+	if err != nil {
+		panic(err)
+	}
+	cfg, err := m.Config()
+	if err != nil {
+		panic(err)
+	}
+	rep, err := controlplane.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep)
+	fmt.Printf("\none shared gate rolled back %d kinds together; the manifest is data — store it, diff it, rerun it\n",
+		len(rep.Kinds))
+}
+
+// manifestPath finds manifest.json whether the example runs from the
+// repository root (go run ./examples/rollout) or its own directory.
+func manifestPath() string {
+	for _, p := range []string{"examples/rollout/manifest.json", "manifest.json"} {
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+	}
+	return "manifest.json"
 }

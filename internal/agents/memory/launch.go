@@ -1,12 +1,14 @@
 package memory
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"sol/internal/clock"
 	"sol/internal/core"
 	"sol/internal/memsim"
+	"sol/internal/spec"
 	"sol/internal/stats"
 )
 
@@ -68,6 +70,50 @@ func DefaultVariant() Variant {
 // LaunchVariant launches the agent with v's parameterization over mem.
 func LaunchVariant(clk clock.Clock, mem *memsim.Memory, v Variant, opts core.Options) (*Agent, error) {
 	return LaunchScheduled(clk, mem, v.Config, v.Schedule, opts)
+}
+
+func init() { spec.Register(Kind, specBuilder{}) }
+
+// specBuilder resolves declarative agent specs for the memory kind;
+// Variant is the typed spec params. Launching requires a tiered-memory
+// substrate in the node environment — the substrate belongs to the
+// node, not the agent, which is what lets a redeploy (or rollback)
+// hand the successor the same memory state the predecessor managed.
+type specBuilder struct{}
+
+// NewParams returns the paper-calibrated defaults, reseeded from the
+// node's seed root with the standard-node offset when one is provided.
+func (specBuilder) NewParams(env spec.NodeEnv) any {
+	v := DefaultVariant()
+	if env.Seed != 0 {
+		v.Config.Seed = env.Seed + 4
+	}
+	return &v
+}
+
+func (specBuilder) Customize(params any, variant string, sched *core.Schedule) {
+	v := params.(*Variant)
+	if variant != "" {
+		v.Name = variant
+	}
+	if sched != nil {
+		v.Schedule = *sched
+	}
+}
+
+func (specBuilder) Schedule(params any) core.Schedule {
+	return params.(*Variant).Schedule
+}
+
+func (specBuilder) Launch(env spec.NodeEnv, params any) (core.Handle, error) {
+	if env.Mem == nil {
+		return nil, fmt.Errorf("memory: spec launch needs a tiered-memory substrate in the environment")
+	}
+	ag, err := LaunchVariant(env.Clock, env.Mem, *params.(*Variant), env.Options)
+	if err != nil {
+		return nil, err
+	}
+	return ag.Handle(), nil
 }
 
 // StaticPolicy is the non-learning baseline of Figure 7: it scans every

@@ -1,9 +1,12 @@
 package overclock
 
 import (
+	"fmt"
+
 	"sol/internal/clock"
 	"sol/internal/core"
 	"sol/internal/node"
+	"sol/internal/spec"
 )
 
 // Kind identifies SmartOverclock to supervisors that manage
@@ -69,4 +72,46 @@ func DefaultVariant(vm string) Variant {
 // LaunchVariant launches the agent with v's parameterization.
 func LaunchVariant(clk clock.Clock, n *node.Node, v Variant, opts core.Options) (*Agent, error) {
 	return LaunchScheduled(clk, n, v.Config, v.Schedule, opts)
+}
+
+func init() { spec.Register(Kind, specBuilder{}) }
+
+// specBuilder resolves declarative agent specs for the overclock kind;
+// Variant is the typed spec params.
+type specBuilder struct{}
+
+// NewParams returns the canonical defaults: the paper calibration on
+// the conventional "batch" VM, reseeded from the node's seed root with
+// the standard-node offset when one is provided.
+func (specBuilder) NewParams(env spec.NodeEnv) any {
+	v := DefaultVariant("batch")
+	if env.Seed != 0 {
+		v.Config.Seed = env.Seed + 2
+	}
+	return &v
+}
+
+func (specBuilder) Customize(params any, variant string, sched *core.Schedule) {
+	v := params.(*Variant)
+	if variant != "" {
+		v.Name = variant
+	}
+	if sched != nil {
+		v.Schedule = *sched
+	}
+}
+
+func (specBuilder) Schedule(params any) core.Schedule {
+	return params.(*Variant).Schedule
+}
+
+func (specBuilder) Launch(env spec.NodeEnv, params any) (core.Handle, error) {
+	if env.Node == nil {
+		return nil, fmt.Errorf("overclock: spec launch needs a node in the environment")
+	}
+	ag, err := LaunchVariant(env.Clock, env.Node, *params.(*Variant), env.Options)
+	if err != nil {
+		return nil, err
+	}
+	return ag.Handle(), nil
 }

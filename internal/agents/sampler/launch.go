@@ -1,8 +1,11 @@
 package sampler
 
 import (
+	"fmt"
+
 	"sol/internal/clock"
 	"sol/internal/core"
+	"sol/internal/spec"
 	"sol/internal/telemetry"
 )
 
@@ -64,4 +67,47 @@ func DefaultVariant() Variant {
 // LaunchVariant launches the agent with v's parameterization over src.
 func LaunchVariant(clk clock.Clock, src *telemetry.Source, v Variant, opts core.Options) (*Agent, error) {
 	return LaunchScheduled(clk, src, v.Config, v.Schedule, opts)
+}
+
+func init() { spec.Register(Kind, specBuilder{}) }
+
+// specBuilder resolves declarative agent specs for the sampler kind;
+// Variant is the typed spec params. Launching requires a telemetry
+// substrate in the node environment, so a redeploy hands the successor
+// the same source — and sampling history — the predecessor tuned.
+type specBuilder struct{}
+
+// NewParams returns the standard defaults, reseeded from the node's
+// seed root with the standard-node offset when one is provided.
+func (specBuilder) NewParams(env spec.NodeEnv) any {
+	v := DefaultVariant()
+	if env.Seed != 0 {
+		v.Config.Seed = env.Seed + 5
+	}
+	return &v
+}
+
+func (specBuilder) Customize(params any, variant string, sched *core.Schedule) {
+	v := params.(*Variant)
+	if variant != "" {
+		v.Name = variant
+	}
+	if sched != nil {
+		v.Schedule = *sched
+	}
+}
+
+func (specBuilder) Schedule(params any) core.Schedule {
+	return params.(*Variant).Schedule
+}
+
+func (specBuilder) Launch(env spec.NodeEnv, params any) (core.Handle, error) {
+	if env.Telemetry == nil {
+		return nil, fmt.Errorf("sampler: spec launch needs a telemetry substrate in the environment")
+	}
+	ag, err := LaunchVariant(env.Clock, env.Telemetry, *params.(*Variant), env.Options)
+	if err != nil {
+		return nil, err
+	}
+	return ag.Handle(), nil
 }

@@ -31,12 +31,17 @@ func Run(cfg Config) (*Report, error) {
 
 	var st *campaignState
 	if cfg.Campaign != nil {
-		st = newCampaignState(cfg.Campaign, co)
+		st, err = newCampaignState(cfg.Campaign, co)
+		if err != nil {
+			return nil, err
+		}
 		// A campaign for a kind no node runs would pass every gate
 		// vacuously and report "completed"; refuse it instead.
-		if !st.kindPresent() {
-			return nil, fmt.Errorf("controlplane: campaign %q targets kind %q, but no node runs it",
-				cfg.Campaign.Name, cfg.Campaign.Kind)
+		for _, tg := range st.targets {
+			if !st.kindPresent(tg.kind) {
+				return nil, fmt.Errorf("controlplane: campaign %q targets kind %q, but no node runs it",
+					cfg.Campaign.Name, tg.kind)
+			}
 		}
 		// The canary converts at the virtual start instant, before any
 		// time passes: epoch 0 in the trace.
@@ -75,6 +80,10 @@ type memberKey struct {
 type campaignState struct {
 	camp *Campaign
 	co   *fleet.Coordinator
+	// targets are the compiled per-kind deploy operations; kinds is
+	// the membership set cohort health aggregates over.
+	targets []compiledTarget
+	kinds   map[string]bool
 
 	// order is the deterministic node shuffle; nodes convert in this
 	// order, so order[:converted] is always the converted cohort.
@@ -95,21 +104,30 @@ type campaignState struct {
 	trace []WaveEvent
 }
 
-func newCampaignState(camp *Campaign, co *fleet.Coordinator) *campaignState {
-	return &campaignState{
-		camp:  camp,
-		co:    co,
-		order: stats.NewRNG(camp.Seed ^ 0xc0a1e5ce).Perm(co.Nodes()),
-		prev:  make(map[memberKey]uint64),
+func newCampaignState(camp *Campaign, co *fleet.Coordinator) (*campaignState, error) {
+	targets, err := camp.compile()
+	if err != nil {
+		return nil, err
 	}
+	kinds := make(map[string]bool, len(targets))
+	for _, tg := range targets {
+		kinds[tg.kind] = true
+	}
+	return &campaignState{
+		camp:    camp,
+		co:      co,
+		targets: targets,
+		kinds:   kinds,
+		order:   stats.NewRNG(camp.Seed ^ 0xc0a1e5ce).Perm(co.Nodes()),
+		prev:    make(map[memberKey]uint64),
+	}, nil
 }
 
-// kindPresent reports whether any node runs a member of the campaign
-// kind.
-func (s *campaignState) kindPresent() bool {
+// kindPresent reports whether any node runs a member of kind.
+func (s *campaignState) kindPresent(kind string) bool {
 	for i := 0; i < s.co.Nodes(); i++ {
 		for _, m := range s.co.Supervisor(i).Members() {
-			if m.Kind == s.camp.Kind {
+			if m.Kind == kind {
 				return true
 			}
 		}
@@ -117,30 +135,37 @@ func (s *campaignState) kindPresent() bool {
 	return false
 }
 
-// deploy replaces every member of the campaign kind on node nodeIdx
-// with the agent launch builds, resetting the member's deadline
-// bookkeeping.
-func (s *campaignState) deploy(nodeIdx int, launch fleet.LaunchFunc, deadline time.Duration) error {
+// deploy converts (or, with revert, rolls back) every member of every
+// target kind on node nodeIdx, resetting each member's deadline
+// bookkeeping. All targets convert at the same barrier — a multi-kind
+// campaign's cohort is never half-deployed.
+func (s *campaignState) deploy(nodeIdx int, revert bool) error {
 	sup := s.co.Supervisor(nodeIdx)
-	for _, m := range sup.Members() {
-		if m.Kind != s.camp.Kind {
-			continue
+	for _, tg := range s.targets {
+		for _, m := range sup.Members() {
+			if m.Kind != tg.kind {
+				continue
+			}
+			op := tg.convert
+			if revert {
+				op = tg.revert
+			}
+			if err := op(sup, m.Name, nodeIdx); err != nil {
+				return err
+			}
+			s.prev[memberKey{nodeIdx, m.Name}] = 0
 		}
-		if err := sup.Replace(m.Name, deadline, launch); err != nil {
-			return err
-		}
-		s.prev[memberKey{nodeIdx, m.Name}] = 0
 	}
 	return nil
 }
 
 // convertNextWave converts the next wave's cohort slice to the
-// candidate variant and arms the soak counter.
+// candidate variants and arms the soak counter.
 func (s *campaignState) convertNextWave(epoch int) error {
 	frac := s.camp.Waves[s.wave]
 	target := cohortSize(frac, s.co.Nodes())
 	for i := s.converted; i < target; i++ {
-		if err := s.deploy(s.order[i], s.camp.Candidate(s.order[i]), s.camp.CandidateDeadline); err != nil {
+		if err := s.deploy(s.order[i], false); err != nil {
 			return err
 		}
 	}
@@ -157,10 +182,11 @@ func (s *campaignState) convertNextWave(epoch int) error {
 	return nil
 }
 
-// rollback reverts the whole converted cohort to the baseline variant.
+// rollback reverts the whole converted cohort to the baseline
+// variants.
 func (s *campaignState) rollback(epoch int, res GateResult) error {
 	for i := 0; i < s.converted; i++ {
-		if err := s.deploy(s.order[i], s.camp.Baseline(s.order[i]), s.camp.BaselineDeadline); err != nil {
+		if err := s.deploy(s.order[i], true); err != nil {
 			return err
 		}
 	}
@@ -217,14 +243,16 @@ func (s *campaignState) observe(epoch int, step time.Duration) error {
 	return s.convertNextWave(epoch)
 }
 
-// cohortHealth aggregates the campaign kind over the converted cohort
+// cohortHealth aggregates every target kind over the converted cohort
 // at the current barrier and updates the per-agent action bookkeeping.
-// step is the last epoch's length, for the deadline floor.
+// step is the last epoch's length, for the deadline floor. The union
+// is what the shared gate judges: in a multi-kind campaign, one kind's
+// safeguard trips fail the wave for all of them.
 func (s *campaignState) cohortHealth(step time.Duration) CohortHealth {
 	var h CohortHealth
 	for _, nodeIdx := range s.order[:s.converted] {
 		for _, mh := range s.co.Supervisor(nodeIdx).HealthDetail() {
-			if mh.Kind != s.camp.Kind {
+			if !s.kinds[mh.Kind] {
 				continue
 			}
 			hh := mh.Health
@@ -263,7 +291,7 @@ func (s *campaignState) cohortHealth(step time.Duration) CohortHealth {
 // fill copies the campaign outcome into the run report.
 func (s *campaignState) fill(rep *Report) {
 	rep.Campaign = s.camp.Name
-	rep.Kind = s.camp.Kind
+	rep.Kinds = s.camp.Kinds()
 	rep.Waves = s.camp.Waves
 	rep.Trace = s.trace
 	rep.Completed = s.completed

@@ -22,67 +22,219 @@
 package controlplane
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"time"
 
 	"sol/internal/fleet"
+	"sol/internal/spec"
 	"sol/internal/taxonomy"
 )
 
-// Campaign describes one rollout: which agent kind is being
-// redeployed, how the candidate and baseline variants are launched on
-// each node, the wave plan, and the health gate each wave must pass.
+// Campaign describes one rollout declaratively: which agent variants
+// are being redeployed (one Target per kind, converted together), the
+// wave plan, and the shared health gate every wave's converted cohort
+// must clear. A Campaign is plain data — it serializes to JSON, so
+// rollouts can be stored, diffed, and loaded from a manifest
+// (cmd/solrollout -config) by operators who never wrote the agents.
 type Campaign struct {
-	// Name labels the campaign (typically the candidate variant name)
-	// in traces and reports.
-	Name string
-	// Kind is the agent kind being redeployed; every member of this
-	// kind on a converted node is replaced.
-	Kind string
-	// Candidate builds the launch closure deploying the candidate
-	// variant on node idx; Baseline likewise for rollback. Taking the
-	// node index lets per-node seeds and workload parameterization
-	// survive conversion.
-	Candidate func(idx int) fleet.LaunchFunc
-	Baseline  func(idx int) fleet.LaunchFunc
-	// CandidateDeadline and BaselineDeadline are the respective
-	// variants' MaxActuationDelay, for deadline-compliance accounting
-	// (zero disables it for that variant).
-	CandidateDeadline time.Duration
-	BaselineDeadline  time.Duration
+	// Name labels the campaign in traces and reports.
+	Name string `json:"name"`
+	// Targets are the redeployments this campaign coordinates. Every
+	// target kind on a converted node is replaced in the same lockstep
+	// barrier, and the shared Gate judges their union cohort — so a
+	// schedule change across co-located agents advances or rolls back
+	// as one unit.
+	Targets []Target `json:"targets"`
 	// Waves are the cumulative fleet fractions of the rollout plan,
 	// strictly increasing in (0, 1]; e.g. 0.01, 0.05, 0.25, 1. Each
 	// wave's cohort size is the ceiling of fraction × nodes, so a
-	// canary wave converts at least one node.
-	Waves []float64
+	// canary wave converts at least one node. Nil means DefaultWaves
+	// when loaded from JSON.
+	Waves []float64 `json:"waves,omitempty"`
 	// SoakEpochs is how many lockstep epochs a freshly converted wave
 	// soaks before its gate is judged. Must be >= 1.
-	SoakEpochs int
-	// Gate is the health bar the converted cohort must clear for the
-	// next wave to proceed.
-	Gate Gate
+	SoakEpochs int `json:"soak_epochs,omitempty"`
+	// Gate is the health bar the converted cohort (all target kinds
+	// pooled) must clear for the next wave to proceed.
+	Gate Gate `json:"gate"`
 	// Seed drives the deterministic shuffle that orders nodes into
 	// waves, so the canary cohort is not just the lowest node indices.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// DefaultWaves returns the canonical rollout plan: 1% → 5% → 25% →
+// 100% of the fleet.
+func DefaultWaves() []float64 { return []float64{0.01, 0.05, 0.25, 1} }
+
+// DefaultSoakEpochs is the canonical soak before each wave's gate.
+const DefaultSoakEpochs = 2
+
+// UnmarshalJSON decodes a campaign with manifest defaults — absent
+// waves, soak, and gate mean DefaultWaves, DefaultSoakEpochs, and
+// DefaultGate, not the zero values (a zero Gate tolerates nothing) —
+// and rejects unknown fields, so a typo in a stored manifest fails
+// loudly instead of silently deploying the wrong campaign.
+func (c *Campaign) UnmarshalJSON(b []byte) error {
+	type plain Campaign
+	p := plain{Gate: DefaultGate(), SoakEpochs: DefaultSoakEpochs}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return err
+	}
+	if p.Waves == nil {
+		p.Waves = DefaultWaves()
+	}
+	*c = Campaign(p)
+	return nil
+}
+
+// Target is one kind's redeployment within a campaign: the candidate
+// variant to roll out and the baseline to roll back to, both as
+// declarative agent specs resolved on each node's environment — which
+// is what lets a campaign target substrate-backed kinds (memory,
+// sampler) that closure launches never could.
+type Target struct {
+	// Candidate is the variant being rolled out; its Kind names the
+	// agent kind, and every member of that kind on a converted node is
+	// replaced.
+	Candidate spec.Agent `json:"candidate"`
+	// Baseline is what rollback (and post-failure recovery) deploys.
+	// Nil means the environment baseline of the candidate's kind —
+	// exactly the variant the node launched at setup.
+	Baseline *spec.Agent `json:"baseline,omitempty"`
+
+	// Closure adapter (see ClosureTarget): pre-spec campaigns built
+	// launch closures by hand; they keep working, but cannot be
+	// serialized and cannot target substrate-backed kinds.
+	closureKind         string
+	closureCand         func(idx int) fleet.LaunchFunc
+	closureBase         func(idx int) fleet.LaunchFunc
+	closureCandDeadline time.Duration
+	closureBaseDeadline time.Duration
+}
+
+// Kind returns the agent kind the target redeploys.
+func (t Target) Kind() string {
+	if t.closureKind != "" {
+		return t.closureKind
+	}
+	return t.Candidate.Kind
+}
+
+// ClosureTarget adapts the closure-based launch shape to a campaign
+// target, for callers that build variants in code. candidate and
+// baseline take the node index so per-node parameterization survives
+// conversion; the deadlines are the variants' MaxActuationDelay for
+// compliance accounting (zero disables it). Closure targets cannot be
+// serialized into manifests — prefer declarative specs.
+func ClosureTarget(kind string, candidate, baseline func(idx int) fleet.LaunchFunc, candidateDeadline, baselineDeadline time.Duration) Target {
+	return Target{
+		closureKind:         kind,
+		closureCand:         candidate,
+		closureBase:         baseline,
+		closureCandDeadline: candidateDeadline,
+		closureBaseDeadline: baselineDeadline,
+	}
+}
+
+// compiledTarget is a target resolved into deploy operations.
+type compiledTarget struct {
+	kind    string
+	convert func(sup *fleet.Supervisor, member string, idx int) error
+	revert  func(sup *fleet.Supervisor, member string, idx int) error
+}
+
+// compile validates the target and binds its deploy operations.
+func (t Target) compile() (compiledTarget, error) {
+	if t.closureKind != "" {
+		switch {
+		case t.closureCand == nil:
+			return compiledTarget{}, fmt.Errorf("controlplane: closure target %q has no candidate", t.closureKind)
+		case t.closureBase == nil:
+			return compiledTarget{}, fmt.Errorf("controlplane: closure target %q has no baseline", t.closureKind)
+		case t.closureCandDeadline < 0 || t.closureBaseDeadline < 0:
+			return compiledTarget{}, fmt.Errorf("controlplane: closure target %q has a negative deadline", t.closureKind)
+		}
+		return compiledTarget{
+			kind: t.closureKind,
+			convert: func(sup *fleet.Supervisor, member string, idx int) error {
+				return sup.Replace(member, t.closureCandDeadline, t.closureCand(idx))
+			},
+			revert: func(sup *fleet.Supervisor, member string, idx int) error {
+				return sup.Replace(member, t.closureBaseDeadline, t.closureBase(idx))
+			},
+		}, nil
+	}
+	cand := t.Candidate
+	if err := cand.Validate(); err != nil {
+		return compiledTarget{}, fmt.Errorf("controlplane: candidate: %w", err)
+	}
+	base := spec.Agent{Kind: cand.Kind}
+	if t.Baseline != nil {
+		base = *t.Baseline
+		if base.Kind == "" {
+			base.Kind = cand.Kind
+		}
+	}
+	if base.Kind != cand.Kind {
+		return compiledTarget{}, fmt.Errorf("controlplane: target kind %q has a %q baseline; candidate and baseline must redeploy the same kind",
+			cand.Kind, base.Kind)
+	}
+	if err := base.Validate(); err != nil {
+		return compiledTarget{}, fmt.Errorf("controlplane: baseline: %w", err)
+	}
+	return compiledTarget{
+		kind: cand.Kind,
+		convert: func(sup *fleet.Supervisor, member string, _ int) error {
+			return sup.ReplaceSpec(member, cand)
+		},
+		revert: func(sup *fleet.Supervisor, member string, _ int) error {
+			return sup.ReplaceSpec(member, base)
+		},
+	}, nil
+}
+
+// Kinds returns the campaign's target kinds, in target order.
+func (c *Campaign) Kinds() []string {
+	out := make([]string, len(c.Targets))
+	for i, t := range c.Targets {
+		out[i] = t.Kind()
+	}
+	return out
+}
+
+// compile validates every target and binds the deploy operations.
+func (c *Campaign) compile() ([]compiledTarget, error) {
+	targets := make([]compiledTarget, len(c.Targets))
+	seen := make(map[string]bool, len(c.Targets))
+	for i, t := range c.Targets {
+		ct, err := t.compile()
+		if err != nil {
+			return nil, fmt.Errorf("%w (campaign %q)", err, c.Name)
+		}
+		if seen[ct.kind] {
+			return nil, fmt.Errorf("controlplane: campaign %q targets kind %q twice", c.Name, ct.kind)
+		}
+		seen[ct.kind] = true
+		targets[i] = ct
+	}
+	return targets, nil
 }
 
 func (c *Campaign) validate() error {
 	switch {
 	case c.Name == "":
 		return fmt.Errorf("controlplane: campaign has no name")
-	case c.Kind == "":
-		return fmt.Errorf("controlplane: campaign %q has no agent kind", c.Name)
-	case c.Candidate == nil:
-		return fmt.Errorf("controlplane: campaign %q has no candidate variant", c.Name)
-	case c.Baseline == nil:
-		return fmt.Errorf("controlplane: campaign %q has no baseline variant", c.Name)
+	case len(c.Targets) == 0:
+		return fmt.Errorf("controlplane: campaign %q has no targets", c.Name)
 	case c.SoakEpochs < 1:
 		return fmt.Errorf("controlplane: campaign %q: SoakEpochs = %d, must be >= 1", c.Name, c.SoakEpochs)
 	case len(c.Waves) == 0:
 		return fmt.Errorf("controlplane: campaign %q has no waves", c.Name)
-	case c.CandidateDeadline < 0 || c.BaselineDeadline < 0:
-		return fmt.Errorf("controlplane: campaign %q has a negative deadline", c.Name)
 	}
 	prev := 0.0
 	for i, w := range c.Waves {
@@ -93,7 +245,8 @@ func (c *Campaign) validate() error {
 		}
 		prev = w
 	}
-	return nil
+	_, err := c.compile()
+	return err
 }
 
 // cohortSize converts a wave fraction to a node count: the ceiling of
@@ -166,22 +319,22 @@ func (h CohortHealth) String() string {
 // check that trips names the campaign's taxonomy.FailureClass.
 type Gate struct {
 	// MaxRejectedFrac bounds DataRejected/DataCollected.
-	MaxRejectedFrac float64
+	MaxRejectedFrac float64 `json:"max_rejected_frac"`
 	// MaxViolationsPerAgent bounds cumulative schedule violations per
 	// cohort agent.
-	MaxViolationsPerAgent float64
+	MaxViolationsPerAgent float64 `json:"max_violations_per_agent"`
 	// MinDeadlineFrac is the minimum DeadlineMet/DeadlineEligible over
 	// the last epoch; zero disables.
-	MinDeadlineFrac float64
+	MinDeadlineFrac float64 `json:"min_deadline_frac"`
 	// MaxModelFailingFrac bounds the fraction of agents currently
 	// failing model assessment.
-	MaxModelFailingFrac float64
+	MaxModelFailingFrac float64 `json:"max_model_failing_frac"`
 	// MaxHaltedFrac bounds the fraction of agents currently halted by
 	// their actuator safeguard.
-	MaxHaltedFrac float64
+	MaxHaltedFrac float64 `json:"max_halted_frac"`
 	// MaxTriggersPerAgent bounds cumulative actuator-safeguard trips
 	// per cohort agent.
-	MaxTriggersPerAgent float64
+	MaxTriggersPerAgent float64 `json:"max_triggers_per_agent"`
 }
 
 // DefaultGate returns the standard rollout gate: a few percent of

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"reflect"
@@ -8,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"sol/internal/fleet"
+	"sol/internal/spec"
 	"sol/internal/taxonomy"
 )
 
@@ -294,18 +297,40 @@ func TestConfigValidation(t *testing.T) {
 	}{
 		{"zero interval", func(c *Config) { c.Interval = 0 }},
 		{"no name", func(c *Config) { c.Campaign.Name = "" }},
-		{"no kind", func(c *Config) { c.Campaign.Kind = "" }},
-		{"no candidate", func(c *Config) { c.Campaign.Candidate = nil }},
-		{"no baseline", func(c *Config) { c.Campaign.Baseline = nil }},
+		{"no targets", func(c *Config) { c.Campaign.Targets = nil }},
+		{"no candidate kind", func(c *Config) { c.Campaign.Targets = []Target{{}} }},
+		{"unregistered kind", func(c *Config) {
+			c.Campaign.Targets = []Target{{Candidate: spec.Agent{Kind: "no-such-kind"}}}
+		}},
+		{"bad candidate params", func(c *Config) {
+			c.Campaign.Targets = []Target{{Candidate: spec.Agent{Kind: "harvest", Params: json.RawMessage(`{"Typo": 1}`)}}}
+		}},
+		{"mismatched baseline kind", func(c *Config) {
+			c.Campaign.Targets = []Target{{
+				Candidate: spec.Agent{Kind: "harvest"},
+				Baseline:  &spec.Agent{Kind: "overclock"},
+			}}
+		}},
+		{"duplicate target kind", func(c *Config) {
+			c.Campaign.Targets = append(c.Campaign.Targets, c.Campaign.Targets[0])
+		}},
+		{"closure target without baseline", func(c *Config) {
+			c.Campaign.Targets = []Target{ClosureTarget("harvest",
+				func(int) fleet.LaunchFunc { return nil }, nil, 0, 0)}
+		}},
+		{"closure target negative deadline", func(c *Config) {
+			launch := func(int) fleet.LaunchFunc { return nil }
+			c.Campaign.Targets = []Target{ClosureTarget("harvest", launch, launch, -time.Second, 0)}
+		}},
 		{"no soak", func(c *Config) { c.Campaign.SoakEpochs = 0 }},
 		{"no waves", func(c *Config) { c.Campaign.Waves = nil }},
 		{"waves not increasing", func(c *Config) { c.Campaign.Waves = []float64{0.5, 0.5} }},
 		{"wave beyond 1", func(c *Config) { c.Campaign.Waves = []float64{0.5, 1.5} }},
 		{"NaN wave", func(c *Config) { c.Campaign.Waves = []float64{math.NaN(), 1} }},
-		{"negative deadline", func(c *Config) { c.Campaign.CandidateDeadline = -time.Second }},
 	} {
 		cfg := ok
 		camp := *ok.Campaign
+		camp.Targets = append([]Target(nil), camp.Targets...)
 		cfg.Campaign = &camp
 		tc.mut(&cfg)
 		if _, err := Run(cfg); err == nil {
@@ -314,9 +339,10 @@ func TestConfigValidation(t *testing.T) {
 	}
 	// A campaign for a kind no node runs would pass every gate
 	// vacuously and claim completion; it must be refused up front.
+	// The sampler kind is registered but not co-located on this fleet.
 	cfg := ok
 	camp := *ok.Campaign
-	camp.Kind = "unknown"
+	camp.Targets = []Target{{Candidate: spec.Agent{Kind: "sampler"}}}
 	cfg.Campaign = &camp
 	cfg.Fleet.Nodes = 2
 	cfg.Fleet.Duration = 45 * time.Second

@@ -1,0 +1,123 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sol/internal/fleet"
+	"sol/internal/spec"
+)
+
+// Manifest is the stored form of a control-plane run: a StandardNode
+// fleet plus (optionally) a campaign, everything declared as data.
+// Manifests are what make rollouts operable by people who didn't
+// write the agents — a campaign lives in a reviewed, diffable JSON
+// file and runs with `solrollout -config manifest.json`, the
+// deployment-surface analogue of CleanUp's "callable at any time, by
+// anyone".
+//
+// All durations accept the friendly string form ("45s", "100ms");
+// absent campaign waves/soak/gate default to the canonical plan
+// (DefaultWaves, DefaultSoakEpochs, DefaultGate). Unknown fields are
+// rejected, so typos fail at load, not at the canary.
+type Manifest struct {
+	// Name labels the run; reports use the campaign's own name.
+	Name string `json:"name,omitempty"`
+	// Nodes and Duration size the fleet.
+	Nodes    int           `json:"nodes"`
+	Duration spec.Duration `json:"duration"`
+	// Interval is the lockstep observation epoch; 0 means 5 s.
+	Interval spec.Duration `json:"interval,omitempty"`
+	// Kinds is the per-node co-location; nil means
+	// fleet.StandardKinds.
+	Kinds []string `json:"kinds,omitempty"`
+	// Seed varies workloads and the cohort shuffle.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// MemRegions sizes the tiered-memory substrate; 0 means the
+	// StandardNode default.
+	MemRegions int `json:"mem_regions,omitempty"`
+	// Options sets the fleet-wide runtime ablation flags.
+	Options *spec.Options `json:"options,omitempty"`
+	// Campaign, when present, is executed over the fleet.
+	Campaign *Campaign `json:"campaign,omitempty"`
+}
+
+// ParseManifest decodes a manifest, rejecting unknown fields.
+func ParseManifest(data []byte) (*Manifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("controlplane: bad manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadManifest reads and parses the manifest at path.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: %w", err)
+	}
+	m, err := ParseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return m, nil
+}
+
+// Validate checks the manifest without building a fleet: sizing, and
+// that every campaign target resolves against the kind registry.
+func (m *Manifest) Validate() error {
+	switch {
+	case m.Nodes < 1:
+		return fmt.Errorf("controlplane: manifest nodes = %d, must be >= 1", m.Nodes)
+	case m.Duration <= 0:
+		return fmt.Errorf("controlplane: manifest duration = %v, must be positive", m.Duration.D())
+	case m.Interval < 0:
+		return fmt.Errorf("controlplane: manifest interval = %v, must be >= 0", m.Interval.D())
+	}
+	if m.Campaign != nil {
+		return m.Campaign.validate()
+	}
+	return nil
+}
+
+// Config compiles the manifest into a runnable control-plane config
+// over a StandardNode fleet.
+func (m *Manifest) Config() (Config, error) {
+	if err := m.Validate(); err != nil {
+		return Config{}, err
+	}
+	std := fleet.StandardNodeConfig{
+		Seed:       m.Seed,
+		Kinds:      m.Kinds,
+		MemRegions: m.MemRegions,
+	}
+	if m.Options != nil {
+		std.Options = m.Options.Apply(std.Options)
+	}
+	interval := m.Interval.D()
+	if interval == 0 {
+		interval = 5 * time.Second
+	}
+	return Config{
+		Fleet: fleet.Config{
+			Nodes:    m.Nodes,
+			Duration: m.Duration.D(),
+			Workers:  m.Workers,
+			Setup:    fleet.StandardNode(std),
+			Start:    fleet.DefaultStart,
+		},
+		Interval: interval,
+		Campaign: m.Campaign,
+	}, nil
+}

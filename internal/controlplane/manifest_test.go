@@ -1,0 +1,241 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sol/internal/agents/harvest"
+	"sol/internal/fleet"
+)
+
+const exampleManifest = "../../examples/rollout/manifest.json"
+
+// TestManifestRoundTrip: the checked-in example manifest survives
+// JSON → Manifest → JSON without losing information — the re-marshaled
+// form is a fixpoint, and the two forms drive byte-identical rollouts.
+func TestManifestRoundTrip(t *testing.T) {
+	t.Parallel()
+	m1, err := LoadManifest(exampleManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data1, err := json.Marshal(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseManifest(data1)
+	if err != nil {
+		t.Fatalf("re-parsing the marshaled manifest: %v", err)
+	}
+	data2, err := json.Marshal(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatalf("marshal is not a fixpoint:\n%s\nvs\n%s", data1, data2)
+	}
+	// Loading resolves the declarative defaults explicitly.
+	if !reflect.DeepEqual(m1.Campaign.Waves, DefaultWaves()) {
+		t.Fatalf("absent waves = %v, want DefaultWaves", m1.Campaign.Waves)
+	}
+	if m1.Campaign.SoakEpochs != DefaultSoakEpochs || m1.Campaign.Gate != DefaultGate() {
+		t.Fatalf("absent soak/gate not defaulted: %+v", m1.Campaign)
+	}
+	if got := m1.Campaign.Kinds(); !reflect.DeepEqual(got, []string{"harvest", "overclock"}) {
+		t.Fatalf("target kinds = %v", got)
+	}
+
+	// Losslessness in behaviour, not just bytes: both forms produce
+	// the same rollout.
+	cfg1, err := m1.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := m2.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.String() != rep2.String() {
+		t.Fatalf("round-tripped manifest rollout diverged:\n%s\nvs\n%s", rep1, rep2)
+	}
+}
+
+// TestManifestMatchesClosureCampaign is the API-redesign equivalence
+// bar: a campaign loaded from a JSON manifest produces a byte-identical
+// rollout trace to the same campaign hand-built from launch closures.
+func TestManifestMatchesClosureCampaign(t *testing.T) {
+	t.Parallel()
+	const manifestJSON = `{
+		"nodes": 8, "duration": "45s", "interval": "5s",
+		"kinds": ["harvest"], "seed": 1,
+		"campaign": {
+			"name": "buffer-3", "seed": 1,
+			"targets": [{"candidate": {
+				"kind": "harvest", "variant": "buffer-3",
+				"params": {"Config": {"SafetyBuffer": 3}}
+			}}]
+		}
+	}`
+	m, err := ParseManifest([]byte(manifestJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	declCfg, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same campaign, the PR-3 way: hand-rolled closures over the
+	// fleet's per-node baseline variants.
+	std := fleet.StandardNodeConfig{Seed: 1, Kinds: []string{"harvest"}}
+	deadline := std.HarvestVariant(0).Schedule.MaxActuationDelay
+	closCfg := Config{
+		Fleet: fleet.Config{
+			Nodes:    8,
+			Duration: 45 * time.Second,
+			Setup:    fleet.StandardNode(std),
+			Start:    fleet.DefaultStart,
+		},
+		Interval: 5 * time.Second,
+		Campaign: &Campaign{
+			Name:       "buffer-3",
+			Waves:      DefaultWaves(),
+			SoakEpochs: DefaultSoakEpochs,
+			Gate:       DefaultGate(),
+			Seed:       1,
+			Targets: []Target{ClosureTarget(harvest.Kind,
+				func(idx int) fleet.LaunchFunc {
+					v := std.HarvestVariant(idx)
+					v.Name = "buffer-3"
+					v.Config.SafetyBuffer = 3
+					return fleet.LaunchHarvest(v, std.Options)
+				},
+				func(idx int) fleet.LaunchFunc {
+					return fleet.LaunchHarvest(std.HarvestVariant(idx), std.Options)
+				},
+				deadline, deadline)},
+		},
+	}
+
+	decl, err := Run(declCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clos, err := Run(closCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decl.Completed {
+		t.Fatalf("manifest campaign did not complete:\n%s", decl)
+	}
+	if !reflect.DeepEqual(decl.Trace, clos.Trace) {
+		t.Fatalf("manifest and closure wave traces diverged:\n%+v\nvs\n%+v", decl.Trace, clos.Trace)
+	}
+	if decl.String() != clos.String() {
+		t.Fatalf("manifest and closure reports diverged:\n%s\nvs\n%s", decl, clos)
+	}
+}
+
+// TestManifestCampaignDeterminism drives the example multi-kind
+// manifest end to end: the shared gate catches the bad harvest member
+// at the canary, both kinds roll back together, and the trace is
+// byte-identical across runs and worker widths.
+func TestManifestCampaignDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func(workers int) *Report {
+		m, err := LoadManifest(exampleManifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Workers = workers
+		cfg, err := m.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(1)
+	parallel := run(4)
+	again := run(4)
+	if serial.String() != parallel.String() || parallel.String() != again.String() {
+		t.Fatalf("manifest rollout diverged across runs/widths:\n%s\nvs\n%s\nvs\n%s", serial, parallel, again)
+	}
+
+	rep := serial
+	if !rep.RolledBack || rep.Completed {
+		t.Fatalf("example manifest campaign was not rolled back:\n%s", rep)
+	}
+	if rep.FailureWave != 1 {
+		t.Fatalf("shared gate failed at wave %d, want the canary wave 1:\n%s", rep.FailureWave, rep)
+	}
+	if canary := cohortSize(rep.Waves[0], rep.Nodes); rep.MaxConverted != canary {
+		t.Fatalf("blast radius %d nodes, want the canary cohort %d", rep.MaxConverted, canary)
+	}
+	if !reflect.DeepEqual(rep.Kinds, []string{"harvest", "overclock"}) {
+		t.Fatalf("report kinds = %v", rep.Kinds)
+	}
+	// The cohort the shared gate judged pooled both kinds: two agents
+	// on the one converted node.
+	for _, ev := range rep.Trace {
+		if ev.Action == ActionFail && ev.Health.Agents != 2 {
+			t.Fatalf("shared gate judged %d agents, want the 2 co-located targets: %s", ev.Health.Agents, ev.Health)
+		}
+	}
+	if !strings.Contains(rep.String(), "on kinds harvest+overclock") {
+		t.Fatalf("report does not name both kinds:\n%s", rep)
+	}
+}
+
+// TestManifestValidation covers the load-time error paths: structural
+// problems and typos must fail at parse, not at the canary.
+func TestManifestValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := LoadManifest("no-such-file.json"); err == nil {
+		t.Fatal("missing manifest file accepted")
+	}
+	base := func() string {
+		return `{"nodes": 4, "duration": "10s", "kinds": ["harvest"],
+			"campaign": {"name": "x", "targets": [{"candidate": {"kind": "harvest"}}]}}`
+	}
+	if _, err := ParseManifest([]byte(base())); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	for name, bad := range map[string]string{
+		"not json":          `{`,
+		"zero nodes":        `{"nodes": 0, "duration": "10s"}`,
+		"missing duration":  `{"nodes": 4}`,
+		"negative duration": `{"nodes": 4, "duration": "-10s"}`,
+		"bad duration":      `{"nodes": 4, "duration": "fortnight"}`,
+		"top-level typo":    `{"nodes": 4, "duration": "10s", "nodez": 5}`,
+		"campaign typo": `{"nodes": 4, "duration": "10s",
+			"campaign": {"name": "x", "soaks": 3, "targets": [{"candidate": {"kind": "harvest"}}]}}`,
+		"campaign without targets": `{"nodes": 4, "duration": "10s", "campaign": {"name": "x"}}`,
+		"unknown target kind": `{"nodes": 4, "duration": "10s",
+			"campaign": {"name": "x", "targets": [{"candidate": {"kind": "toaster"}}]}}`,
+		"bad target params": `{"nodes": 4, "duration": "10s",
+			"campaign": {"name": "x", "targets": [{"candidate": {"kind": "harvest", "params": {"Typo": 1}}}]}}`,
+		"invalid schedule via params": `{"nodes": 4, "duration": "10s",
+			"campaign": {"name": "x", "targets": [{"candidate": {"kind": "harvest",
+				"params": {"Schedule": {"MaxActuationDelay": -1000}}}}]}}`,
+	} {
+		if _, err := ParseManifest([]byte(bad)); err == nil {
+			t.Fatalf("%s: bad manifest accepted:\n%s", name, bad)
+		}
+	}
+}

@@ -52,9 +52,10 @@ type Report struct {
 
 	// Campaign fields; Campaign is empty for a plain lockstep run.
 	Campaign string
-	Kind     string
-	Waves    []float64
-	Trace    []WaveEvent
+	// Kinds are the campaign's target kinds, in target order.
+	Kinds []string
+	Waves []float64
+	Trace []WaveEvent
 	// Completed means every wave passed its gate; RolledBack means a
 	// gate failed and the cohort was reverted to baseline. At most one
 	// is true; both false means the horizon ended mid-campaign.
@@ -86,8 +87,12 @@ func (r *Report) String() string {
 		b.WriteString(r.Fleet.String())
 		return b.String()
 	}
-	fmt.Fprintf(&b, "campaign %q on kind %s: %d nodes, %d waves, %v epochs\n",
-		r.Campaign, r.Kind, r.Nodes, len(r.Waves), r.Interval)
+	kindLabel := "kind"
+	if len(r.Kinds) > 1 {
+		kindLabel = "kinds"
+	}
+	fmt.Fprintf(&b, "campaign %q on %s %s: %d nodes, %d waves, %v epochs\n",
+		r.Campaign, kindLabel, strings.Join(r.Kinds, "+"), r.Nodes, len(r.Waves), r.Interval)
 	fmt.Fprintf(&b, "%5s %9s %4s %-8s %6s  %s\n", "epoch", "t", "wave", "action", "cohort", "detail")
 	for _, ev := range r.Trace {
 		detail := ""

@@ -1,12 +1,14 @@
 package controlplane
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"sol/internal/agents/harvest"
 	"sol/internal/faults"
 	"sol/internal/fleet"
+	"sol/internal/spec"
 )
 
 // The built-in demonstration scenarios, shared by cmd/solrollout,
@@ -65,36 +67,40 @@ type ScenarioSpec struct {
 	Workers int
 }
 
-// NewScenario builds the ready-to-Run config for spec.
-func NewScenario(spec ScenarioSpec) (Config, error) {
-	waves := spec.Waves
+// NewScenario builds the ready-to-Run config for sc. The campaigns it
+// returns are fully declarative: the candidate is an agent spec whose
+// params overlay the fleet's per-node baseline, so conversion changes
+// only the knobs under study and rollback (the implicit nil baseline)
+// restores exactly the variant StandardNode launched.
+func NewScenario(sc ScenarioSpec) (Config, error) {
+	waves := sc.Waves
 	if waves == nil {
-		waves = []float64{0.01, 0.05, 0.25, 1}
+		waves = DefaultWaves()
 	}
-	soak := spec.SoakEpochs
+	soak := sc.SoakEpochs
 	if soak == 0 {
-		soak = 2
+		soak = DefaultSoakEpochs
 	}
-	interval := spec.Interval
+	interval := sc.Interval
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
-	std := fleet.StandardNodeConfig{Seed: spec.Seed, Kinds: spec.Kinds}
+	std := fleet.StandardNodeConfig{Seed: sc.Seed, Kinds: sc.Kinds}
 
 	camp := &Campaign{
-		Kind:       harvest.Kind,
 		Waves:      waves,
 		SoakEpochs: soak,
 		Gate:       DefaultGate(),
-		Seed:       spec.Seed,
+		Seed:       sc.Seed,
 	}
-	badVariant := false
-	switch spec.Scenario {
+	var params string
+	switch sc.Scenario {
 	case ScenarioHealthy, ScenarioFaultStorm:
 		camp.Name = "buffer-3"
-		if spec.Scenario == ScenarioFaultStorm {
+		params = `{"Config": {"SafetyBuffer": 3}}`
+		if sc.Scenario == ScenarioFaultStorm {
 			if len(waves) < 3 {
-				return Config{}, fmt.Errorf("controlplane: %s needs >= 3 waves, have %d", spec.Scenario, len(waves))
+				return Config{}, fmt.Errorf("controlplane: %s needs >= 3 waves, have %d", sc.Scenario, len(waves))
 			}
 			// The storm covers exactly wave 3's soak window: wave w
 			// converts at epoch (w-1)·soak when all prior gates pass.
@@ -107,42 +113,28 @@ func NewScenario(spec ScenarioSpec) (Config, error) {
 		}
 	case ScenarioBadVariant:
 		camp.Name = "no-buffer-harvester"
-		badVariant = true
+		// The fleet calibration note warns that 1 ms sampling lags
+		// bursts by a full epoch and needs the two-core buffer; a
+		// candidate that drops the buffer and flattens the paper's
+		// 8:1 under-prediction cost asymmetry puts vCPU wait
+		// straight onto the customer-facing primary VM.
+		params = `{"Config": {"SafetyBuffer": 0, "UnderCost": 1}}`
 	default:
-		return Config{}, fmt.Errorf("controlplane: unknown scenario %q (have %v)", spec.Scenario, Scenarios())
+		return Config{}, fmt.Errorf("controlplane: unknown scenario %q (have %v)", sc.Scenario, Scenarios())
 	}
-
-	// Both variants keep each node's per-node seed: conversion changes
-	// the knobs under study, nothing else, and rollback restores the
-	// exact baseline StandardNode launched.
-	camp.Candidate = func(idx int) fleet.LaunchFunc {
-		v := std.HarvestVariant(idx)
-		v.Name = camp.Name
-		if badVariant {
-			// The fleet calibration note warns that 1 ms sampling lags
-			// bursts by a full epoch and needs the two-core buffer; a
-			// candidate that drops the buffer and flattens the paper's
-			// 8:1 under-prediction cost asymmetry puts vCPU wait
-			// straight onto the customer-facing primary VM.
-			v.Config.SafetyBuffer = 0
-			v.Config.UnderCost = 1
-		} else {
-			v.Config.SafetyBuffer = 3
-		}
-		return fleet.LaunchHarvest(v, std.Options)
-	}
-	camp.Baseline = func(idx int) fleet.LaunchFunc {
-		return fleet.LaunchHarvest(std.HarvestVariant(idx), std.Options)
-	}
-	deadline := std.HarvestVariant(0).Schedule.MaxActuationDelay
-	camp.CandidateDeadline = deadline
-	camp.BaselineDeadline = deadline
+	camp.Targets = []Target{{
+		Candidate: spec.Agent{
+			Kind:    harvest.Kind,
+			Variant: camp.Name,
+			Params:  json.RawMessage(params),
+		},
+	}}
 
 	return Config{
 		Fleet: fleet.Config{
-			Nodes:    spec.Nodes,
-			Duration: spec.Duration,
-			Workers:  spec.Workers,
+			Nodes:    sc.Nodes,
+			Duration: sc.Duration,
+			Workers:  sc.Workers,
 			Setup:    fleet.StandardNode(std),
 			Start:    fleet.DefaultStart,
 		},

@@ -175,6 +175,10 @@ func (s Schedule) Validate() error {
 		return fmt.Errorf("core: AssessActuatorInterval = %v, must be >= 0", s.AssessActuatorInterval)
 	case s.QueueCapacity < 0:
 		return fmt.Errorf("core: QueueCapacity = %d, must be >= 0", s.QueueCapacity)
+	case s.PredictionTTL < 0:
+		return fmt.Errorf("core: PredictionTTL = %v, must be >= 0", s.PredictionTTL)
+	case s.LatenessTolerance < 0:
+		return fmt.Errorf("core: LatenessTolerance = %v, must be >= 0", s.LatenessTolerance)
 	}
 	return nil
 }

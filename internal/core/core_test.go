@@ -111,6 +111,11 @@ func TestScheduleValidation(t *testing.T) {
 		func(s *Schedule) { s.AssessModelEvery = -1 },
 		func(s *Schedule) { s.AssessActuatorInterval = -1 },
 		func(s *Schedule) { s.QueueCapacity = -1 },
+		// A negative TTL would mark every prediction expired at issue;
+		// a negative lateness tolerance would flag every model step as
+		// a violation. Both are author errors, not ablation knobs.
+		func(s *Schedule) { s.PredictionTTL = -time.Millisecond },
+		func(s *Schedule) { s.LatenessTolerance = -time.Millisecond },
 	}
 	for i, mut := range muts {
 		s := base
@@ -121,6 +126,14 @@ func TestScheduleValidation(t *testing.T) {
 	}
 	if err := base.Validate(); err != nil {
 		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	// Zero stays meaningful: TTL zero means never-expiring defaults,
+	// lateness zero means the one-collect-interval default.
+	zeroOK := base
+	zeroOK.PredictionTTL = 0
+	zeroOK.LatenessTolerance = 0
+	if err := zeroOK.Validate(); err != nil {
+		t.Fatalf("zero TTL/tolerance rejected: %v", err)
 	}
 }
 

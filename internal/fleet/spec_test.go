@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"sol/internal/agents/harvest"
+	"sol/internal/agents/memory"
+	"sol/internal/agents/overclock"
+	"sol/internal/agents/sampler"
+	"sol/internal/clock"
+	"sol/internal/spec"
+)
+
+// TestReplaceSubstrateKinds is the redeploy capability PR 3 lacked:
+// with substrates threaded through the node environment instead of
+// being built inside launch closures, Supervisor.ReplaceSpec can
+// rebuild the memory and sampler kinds — and the substrate, with its
+// accumulated state, survives the swap.
+func TestReplaceSubstrateKinds(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewVirtual(testEpoch)
+	sup, err := StandardNode(StandardNodeConfig{Seed: 3, Kinds: AllKinds, MemRegions: 32})(0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.StopAll()
+
+	clk.RunFor(10 * time.Second)
+	env := sup.Env()
+	if env.Mem == nil || env.Telemetry == nil {
+		t.Fatal("standard node env is missing its substrates")
+	}
+	memTicks := env.Mem.Ticks()
+	telObserved := env.Telemetry.Snapshot().TotalEvents
+	if memTicks == 0 || telObserved == 0 {
+		t.Fatalf("substrates idle before replace: mem ticks %d, telemetry events %v", memTicks, telObserved)
+	}
+
+	// Redeploy memory with a recalibrated variant and sampler with the
+	// environment baseline.
+	err = sup.ReplaceSpec(memory.Kind, spec.Agent{
+		Kind:    memory.Kind,
+		Variant: "recalibrated",
+		Params:  json.RawMessage(`{"Config": {"CoverageTarget": 0.9}}`),
+	})
+	if err != nil {
+		t.Fatalf("replace memory kind: %v", err)
+	}
+	if err := sup.ReplaceSpec(sampler.Kind, spec.Agent{Kind: sampler.Kind}); err != nil {
+		t.Fatalf("replace sampler kind: %v", err)
+	}
+	replacedAt := clk.Now()
+	// SmartMemory's actuation deadline is 45 s; run past it so every
+	// successor has acted at least once.
+	clk.RunFor(50 * time.Second)
+
+	// The substrate instances — and their accumulated state — survived.
+	after := sup.Env()
+	if after.Mem != env.Mem {
+		t.Fatal("memory substrate was rebuilt by the replace")
+	}
+	if after.Telemetry != env.Telemetry {
+		t.Fatal("telemetry substrate was rebuilt by the replace")
+	}
+	if got := after.Mem.Ticks(); got <= memTicks {
+		t.Fatalf("memory substrate stopped ticking after replace: %d -> %d", memTicks, got)
+	}
+	if got := after.Telemetry.Snapshot().TotalEvents; got <= telObserved {
+		t.Fatalf("telemetry substrate stopped after replace: %v -> %v", telObserved, got)
+	}
+
+	// The successors are fresh runtimes (counters restarted at the
+	// replace instant) and actively managing their substrates.
+	byName := statusByName(sup.Status())
+	for _, kind := range []string{memory.Kind, sampler.Kind} {
+		st, ok := byName[kind]
+		if !ok {
+			t.Fatalf("member %s missing after replace", kind)
+		}
+		if !st.Stats.StartedAt.Equal(replacedAt) {
+			t.Fatalf("%s successor started at %v, want the replace instant %v", kind, st.Stats.StartedAt, replacedAt)
+		}
+		if st.Stats.DataCollected == 0 || st.Stats.Actions == 0 {
+			t.Fatalf("%s successor inactive: collected %d, actions %d", kind, st.Stats.DataCollected, st.Stats.Actions)
+		}
+	}
+	if members := sup.Members(); len(members) != 4 {
+		t.Fatalf("member count changed across replace: %d, want 4", len(members))
+	}
+}
+
+// TestLaunchSpecErrors covers the spec launch/replace error paths on a
+// supervisor.
+func TestLaunchSpecErrors(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewVirtual(testEpoch)
+	sup, err := StandardNode(StandardNodeConfig{Seed: 1})(0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.StopAll()
+
+	if err := sup.LaunchSpec("x", spec.Agent{}); err == nil {
+		t.Fatal("spec without kind accepted")
+	}
+	if err := sup.LaunchSpec("x", spec.Agent{Kind: "no-such-kind"}); err == nil {
+		t.Fatal("unregistered kind accepted")
+	}
+	err = sup.LaunchSpec("x", spec.Agent{Kind: harvest.Kind, Params: json.RawMessage(`{"Typo": 1}`)})
+	if err == nil || !strings.Contains(err.Error(), "Typo") {
+		t.Fatalf("unknown params field not rejected: %v", err)
+	}
+	if err := sup.ReplaceSpec("absent", spec.Agent{Kind: harvest.Kind}); err == nil {
+		t.Fatal("replace of an absent member accepted")
+	}
+	// A spec of one kind must not replace a member of another: the
+	// member keeps its kind label, so every kind-keyed view would
+	// misattribute the new agent's health.
+	err = sup.ReplaceSpec(harvest.Kind, spec.Agent{Kind: overclock.Kind})
+	if err == nil || !strings.Contains(err.Error(), "cannot be replaced") {
+		t.Fatalf("cross-kind replace not rejected: %v", err)
+	}
+	// The standard node without the sampler kind has no telemetry
+	// substrate; a sampler spec must be refused, not crash.
+	if err := sup.LaunchSpec("sampler", spec.Agent{Kind: sampler.Kind}); err == nil {
+		t.Fatal("sampler spec accepted on a node with no telemetry substrate")
+	}
+}
+
+// TestSpecBaselineMatchesStandardNode pins the spec/closure
+// equivalence StandardNode is built on: resolving an empty spec
+// against a node's environment yields exactly the variant the node
+// launched at setup.
+func TestSpecBaselineMatchesStandardNode(t *testing.T) {
+	t.Parallel()
+	cfg := StandardNodeConfig{Seed: 9}
+	clk := clock.NewVirtual(testEpoch)
+	sup, err := StandardNode(cfg)(4, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.StopAll()
+
+	r, err := spec.Resolve(spec.Agent{Kind: harvest.Kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Params(sup.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := *p.(*harvest.Variant)
+	if want := cfg.HarvestVariant(4); got != want {
+		t.Fatalf("spec-resolved baseline diverges from StandardNode's:\n%+v\nvs\n%+v", got, want)
+	}
+	// A partial overlay changes only the named knob.
+	r, err = spec.Resolve(spec.Agent{
+		Kind:    harvest.Kind,
+		Variant: "buffer-3",
+		Params:  json.RawMessage(`{"Config": {"SafetyBuffer": 3}}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = r.Params(sup.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = *p.(*harvest.Variant)
+	want := cfg.HarvestVariant(4)
+	want.Name = "buffer-3"
+	want.Config.SafetyBuffer = 3
+	if got != want {
+		t.Fatalf("overlaid variant drifted beyond the named knob:\n%+v\nvs\n%+v", got, want)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sol/internal/core"
 	"sol/internal/memsim"
 	"sol/internal/node"
+	"sol/internal/spec"
 	"sol/internal/stats"
 	"sol/internal/telemetry"
 	"sol/internal/workload"
@@ -88,6 +89,47 @@ func (cfg StandardNodeConfig) HarvestVariant(idx int) harvest.Variant {
 	return v
 }
 
+// MemoryVariant returns the baseline SmartMemory variant for node idx:
+// the paper calibration with the node's derived seed.
+func (cfg StandardNodeConfig) MemoryVariant(idx int) memory.Variant {
+	v := memory.DefaultVariant()
+	v.Config.Seed = cfg.nodeSeed(idx) + 4
+	return v
+}
+
+// SamplerVariant returns the baseline SmartSampler variant for node
+// idx with the node's derived seed.
+func (cfg StandardNodeConfig) SamplerVariant(idx int) sampler.Variant {
+	v := sampler.DefaultVariant()
+	v.Config.Seed = cfg.nodeSeed(idx) + 5
+	return v
+}
+
+// baseParams is the per-node baseline the spec resolver overlays: a
+// declarative agent spec with empty params deploys exactly the variant
+// StandardNode launched, and partial params change only the knobs they
+// name — per-node seeds, VM wiring, and the fleet-coarsened schedules
+// all survive conversion and rollback.
+func (cfg StandardNodeConfig) baseParams(idx int) func(kind string) any {
+	return func(kind string) any {
+		switch kind {
+		case overclock.Kind:
+			v := cfg.OverclockVariant(idx)
+			return &v
+		case harvest.Kind:
+			v := cfg.HarvestVariant(idx)
+			return &v
+		case memory.Kind:
+			v := cfg.MemoryVariant(idx)
+			return &v
+		case sampler.Kind:
+			v := cfg.SamplerVariant(idx)
+			return &v
+		}
+		return nil
+	}
+}
+
 // LaunchOverclock adapts a SmartOverclock variant to a supervisor
 // LaunchFunc, for Launch and Replace.
 func LaunchOverclock(v overclock.Variant, opts core.Options) LaunchFunc {
@@ -162,22 +204,29 @@ func StandardNode(cfg StandardNodeConfig) NodeFunc {
 		}
 		n.Start()
 
+		// Every agent is constructed from a declarative spec resolved
+		// against the node environment below. Substrates (tiered
+		// memory, telemetry) are created here and handed to the env —
+		// not built inside launch closures — so the supervisor can
+		// redeploy any kind later (Supervisor.ReplaceSpec) with the
+		// substrate, and its accumulated state, surviving the swap.
 		sup := NewSupervisor(clk, n)
+		env := spec.NodeEnv{
+			Clock:     clk,
+			Node:      n,
+			NodeIndex: idx,
+			Seed:      seed,
+			Options:   cfg.Options,
+			Base:      cfg.baseParams(idx),
+		}
 		for _, kind := range kinds {
 			var err error
 			switch kind {
-			case overclock.Kind:
-				v := cfg.OverclockVariant(idx)
-				err = sup.Launch(kind, kind, v.Schedule.MaxActuationDelay,
-					LaunchOverclock(v, cfg.Options))
-			case harvest.Kind:
-				// The single-node calibration reacts within 50 µs and
-				// needs no buffer; at 1 ms sampling the model lags
-				// bursts by a full epoch, so the variant grants two
-				// spare cores to keep vCPU wait off the primary.
-				v := cfg.HarvestVariant(idx)
-				err = sup.Launch(kind, kind, v.Schedule.MaxActuationDelay,
-					LaunchHarvest(v, cfg.Options))
+			case overclock.Kind, harvest.Kind:
+				// The harvest baseline reacts at 1 ms sampling, which
+				// lags bursts by a full epoch; its variant grants two
+				// spare cores to keep vCPU wait off the primary (see
+				// HarvestVariant).
 			case memory.Kind:
 				tr := workload.NewSQLTrace(regions, seed+4)
 				mem, merr := memsim.New(clk, memsim.DefaultConfig(regions), tr)
@@ -186,16 +235,7 @@ func StandardNode(cfg StandardNodeConfig) NodeFunc {
 					break
 				}
 				mem.Start()
-				mcfg := memory.DefaultConfig()
-				mcfg.Seed = seed + 4
-				err = sup.Launch(kind, kind, memory.Schedule().MaxActuationDelay,
-					func(clk clock.Clock, _ *node.Node) (core.Handle, error) {
-						ag, err := memory.Launch(clk, mem, mcfg, cfg.Options)
-						if err != nil {
-							return nil, err
-						}
-						return ag.Handle(), nil
-					})
+				env.Mem = mem
 			case sampler.Kind:
 				src, serr := telemetry.New(clk, telemetry.DefaultConfig())
 				if serr != nil {
@@ -203,18 +243,13 @@ func StandardNode(cfg StandardNodeConfig) NodeFunc {
 					break
 				}
 				src.Start()
-				scfg := sampler.DefaultConfig()
-				scfg.Seed = seed + 5
-				err = sup.Launch(kind, kind, sampler.Schedule().MaxActuationDelay,
-					func(clk clock.Clock, _ *node.Node) (core.Handle, error) {
-						ag, err := sampler.Launch(clk, src, scfg, cfg.Options)
-						if err != nil {
-							return nil, err
-						}
-						return ag.Handle(), nil
-					})
+				env.Telemetry = src
 			default:
 				err = fmt.Errorf("fleet: unknown agent kind %q", kind)
+			}
+			if err == nil {
+				sup.SetEnv(env)
+				err = sup.LaunchSpec(kind, spec.Agent{Kind: kind})
 			}
 			if err != nil {
 				sup.StopAll()

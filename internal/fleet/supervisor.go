@@ -20,6 +20,7 @@ import (
 	"sol/internal/clock"
 	"sol/internal/core"
 	"sol/internal/node"
+	"sol/internal/spec"
 )
 
 // Member is one agent managed by a Supervisor.
@@ -87,6 +88,7 @@ type Supervisor struct {
 	mu      sync.Mutex
 	members []Member
 	byName  map[string]int
+	env     spec.NodeEnv
 	stopped bool
 
 	// replaceMu serializes Replace calls end to end. Replace must drop
@@ -109,6 +111,32 @@ func (s *Supervisor) Clock() clock.Clock { return s.clk }
 
 // Node returns the shared node (nil if the supervisor has none).
 func (s *Supervisor) Node() *node.Node { return s.n }
+
+// SetEnv records the node environment declarative agent specs resolve
+// against: the substrate handles, seed root, and baseline params.
+// Node builders call it once the substrates exist; after that, any
+// member kind — including the substrate-backed ones — can be
+// redeployed via ReplaceSpec for as long as the supervisor lives.
+func (s *Supervisor) SetEnv(env spec.NodeEnv) {
+	s.mu.Lock()
+	s.env = env
+	s.mu.Unlock()
+}
+
+// Env returns the node environment (see SetEnv), defaulting the clock
+// and node to the supervisor's own when unset.
+func (s *Supervisor) Env() spec.NodeEnv {
+	s.mu.Lock()
+	env := s.env
+	s.mu.Unlock()
+	if env.Clock == nil {
+		env.Clock = s.clk
+	}
+	if env.Node == nil {
+		env.Node = s.n
+	}
+	return env
+}
 
 // Attach registers an already-running agent with the supervisor.
 func (s *Supervisor) Attach(m Member) error {
@@ -151,6 +179,65 @@ func (s *Supervisor) Launch(kind, name string, deadline time.Duration, launch La
 		return err
 	}
 	return nil
+}
+
+// LaunchSpec resolves the declarative agent spec a against the kind
+// registry, launches it on the supervisor's node environment, and
+// attaches it under a.Kind/name. The member's actuation deadline comes
+// from the resolved params' schedule — specs carry their own deadline,
+// closures cannot.
+func (s *Supervisor) LaunchSpec(name string, a spec.Agent) error {
+	r, err := spec.Resolve(a)
+	if err != nil {
+		return err
+	}
+	h, deadline, err := r.Launch(s.Env())
+	if err != nil {
+		return fmt.Errorf("fleet: launch %s/%s: %w", a.Kind, name, err)
+	}
+	if err := s.Attach(Member{Kind: a.Kind, Name: name, Handle: h, MaxActuationDelay: deadline}); err != nil {
+		h.Stop()
+		return err
+	}
+	return nil
+}
+
+// ReplaceSpec redeploys the member named name from a declarative
+// agent spec, resolved against the supervisor's node environment.
+// Unlike the closure form of Replace, this works for every registered
+// kind: the environment carries the substrate handles (tiered memory,
+// telemetry), so substrate-backed agents can be rolled out and rolled
+// back like any other — the substrate itself survives the redeploy.
+// The spec's kind must match the member's: Replace keeps the member's
+// kind label, and a mismatched agent under it would corrupt every
+// kind-keyed view (fleet aggregation, cohort health).
+func (s *Supervisor) ReplaceSpec(name string, a spec.Agent) error {
+	r, err := spec.Resolve(a)
+	if err != nil {
+		return err
+	}
+	kind, found := "", false
+	for _, m := range s.Members() {
+		if m.Name == name {
+			kind, found = m.Kind, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("fleet: no member %q to replace", name)
+	}
+	if kind != a.Kind {
+		return fmt.Errorf("fleet: member %s/%s cannot be replaced by a %q spec", kind, name, a.Kind)
+	}
+	env := s.Env()
+	deadline, err := r.Deadline(env)
+	if err != nil {
+		return err
+	}
+	return s.Replace(name, deadline, func(clock.Clock, *node.Node) (core.Handle, error) {
+		h, _, err := r.Launch(env)
+		return h, err
+	})
 }
 
 // Members returns a copy of the member list, in attach order.

@@ -1,0 +1,110 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sol/internal/core"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("5s", "100ms") and unmarshals from either that form or a plain
+// number of nanoseconds — so hand-written manifests stay readable and
+// machine-emitted ones round-trip losslessly.
+type Duration time.Duration
+
+// D returns the wrapped time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as its canonical string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a duration string or a number of nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch v := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("spec: bad duration %q: %w", v, err)
+		}
+		*d = Duration(parsed)
+	case float64:
+		*d = Duration(v)
+	default:
+		return fmt.Errorf("spec: duration must be a string or nanosecond number, got %T", v)
+	}
+	return nil
+}
+
+// Schedule is the serializable mirror of core.Schedule, with durations
+// in the friendly string form. A spec-level schedule override replaces
+// the variant's schedule wholesale, so manifests that set it state the
+// full timing contract explicitly.
+type Schedule struct {
+	DataPerEpoch           int      `json:"data_per_epoch"`
+	DataCollectInterval    Duration `json:"data_collect_interval"`
+	MaxEpochTime           Duration `json:"max_epoch_time"`
+	AssessModelEvery       int      `json:"assess_model_every,omitempty"`
+	MaxActuationDelay      Duration `json:"max_actuation_delay"`
+	AssessActuatorInterval Duration `json:"assess_actuator_interval,omitempty"`
+	PredictionTTL          Duration `json:"prediction_ttl,omitempty"`
+	QueueCapacity          int      `json:"queue_capacity,omitempty"`
+	LatenessTolerance      Duration `json:"lateness_tolerance,omitempty"`
+}
+
+// Core converts to the runtime's core.Schedule.
+func (s Schedule) Core() core.Schedule {
+	return core.Schedule{
+		DataPerEpoch:           s.DataPerEpoch,
+		DataCollectInterval:    s.DataCollectInterval.D(),
+		MaxEpochTime:           s.MaxEpochTime.D(),
+		AssessModelEvery:       s.AssessModelEvery,
+		MaxActuationDelay:      s.MaxActuationDelay.D(),
+		AssessActuatorInterval: s.AssessActuatorInterval.D(),
+		PredictionTTL:          s.PredictionTTL.D(),
+		QueueCapacity:          s.QueueCapacity,
+		LatenessTolerance:      s.LatenessTolerance.D(),
+	}
+}
+
+// ScheduleOf mirrors a core.Schedule into its serializable form.
+func ScheduleOf(s core.Schedule) Schedule {
+	return Schedule{
+		DataPerEpoch:           s.DataPerEpoch,
+		DataCollectInterval:    Duration(s.DataCollectInterval),
+		MaxEpochTime:           Duration(s.MaxEpochTime),
+		AssessModelEvery:       s.AssessModelEvery,
+		MaxActuationDelay:      Duration(s.MaxActuationDelay),
+		AssessActuatorInterval: Duration(s.AssessActuatorInterval),
+		PredictionTTL:          Duration(s.PredictionTTL),
+		QueueCapacity:          s.QueueCapacity,
+		LatenessTolerance:      Duration(s.LatenessTolerance),
+	}
+}
+
+// Options is the serializable subset of core.Options: the safeguard
+// ablation flags. The hook fields (fault injection, epoch tracing) are
+// code, not data — they always come from the environment.
+type Options struct {
+	Blocking                 bool `json:"blocking,omitempty"`
+	DisableDataValidation    bool `json:"disable_data_validation,omitempty"`
+	DisableModelSafeguard    bool `json:"disable_model_safeguard,omitempty"`
+	DisableActuatorSafeguard bool `json:"disable_actuator_safeguard,omitempty"`
+}
+
+// Apply returns base with the serializable flags replaced by o's,
+// preserving base's hook fields.
+func (o Options) Apply(base core.Options) core.Options {
+	base.Blocking = o.Blocking
+	base.DisableDataValidation = o.DisableDataValidation
+	base.DisableModelSafeguard = o.DisableModelSafeguard
+	base.DisableActuatorSafeguard = o.DisableActuatorSafeguard
+	return base
+}

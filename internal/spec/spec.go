@@ -1,0 +1,262 @@
+// Package spec makes agent deployment declarative: an agent is
+// described by a serializable Agent value — which kind, which variant,
+// which parameter overrides — instead of a hand-rolled launch closure,
+// and constructed by resolving that value against a registry of
+// per-kind builders on the node it lands on.
+//
+// The paper's CleanUp contract ("callable at any time, by anyone")
+// extends naturally to deployment: the people who operate a fleet are
+// not the people who wrote the agents, so the thing they roll out must
+// be storable, diffable, and loadable from a file. A spec.Agent is
+// exactly that — the JSON form of "run SmartHarvest, variant buffer-3,
+// with these knobs" — and the related offloading literature ships
+// declaratively-specified compute units to nodes the same way: a spec
+// travels, a registry at the node turns it into running code.
+//
+// Resolution happens at deploy time only (launch, replace, rollback);
+// nothing on the per-event hot path touches the registry, so a fleet
+// built from specs simulates exactly as fast as one built from
+// closures.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/core"
+	"sol/internal/memsim"
+	"sol/internal/node"
+	"sol/internal/telemetry"
+)
+
+// Agent is a serializable description of one agent deployment. The
+// zero Params deploy the environment's baseline for the kind (or the
+// kind's registered defaults when the environment has none), so
+// {"kind": "harvest"} alone is a complete, meaningful spec: "whatever
+// this node normally runs".
+type Agent struct {
+	// Kind names the registered agent kind (e.g. "harvest").
+	Kind string `json:"kind"`
+	// Variant labels the parameterization in campaigns and reports;
+	// when non-empty it overrides the params' variant name.
+	Variant string `json:"variant,omitempty"`
+	// Params is a partial JSON overlay onto the kind's typed params
+	// (its Variant struct): only the fields present are overridden,
+	// everything else keeps the environment's baseline value. Unknown
+	// fields are rejected at resolve time.
+	Params json.RawMessage `json:"params,omitempty"`
+	// Schedule, when present, replaces the params' SOL schedule
+	// wholesale.
+	Schedule *Schedule `json:"schedule,omitempty"`
+	// Options, when present, replaces the runtime ablation flags; the
+	// environment's non-serializable hooks (fault injection, tracing)
+	// are always preserved.
+	Options *Options `json:"options,omitempty"`
+}
+
+// Validate checks that the spec resolves against the registry: the
+// kind is registered, Params decodes cleanly (no unknown fields) over
+// the kind's defaults, and the schedule the spec resolves to — whether
+// set via the Schedule override or smuggled through the Params overlay
+// — is internally consistent. It needs no environment, so manifests
+// can be validated before a fleet exists.
+func (a Agent) Validate() error {
+	r, err := Resolve(a)
+	if err != nil {
+		return err
+	}
+	p, err := r.params(NodeEnv{})
+	if err != nil {
+		return err
+	}
+	if err := r.b.Schedule(p).Validate(); err != nil {
+		return fmt.Errorf("spec: %s schedule: %w", a.Kind, err)
+	}
+	return nil
+}
+
+// NodeEnv is everything a builder may need to construct an agent on
+// one node: the clock and substrates, the node's identity and seed
+// root, and the environment-wide runtime options. Supervisors carry
+// their env so a control plane can redeploy any kind — including the
+// substrate-backed ones — long after the node was built.
+type NodeEnv struct {
+	// Clock is the node's clock; every agent loop schedules on it.
+	Clock clock.Clock
+	// Node is the simulated server, for node-bound kinds (nil for
+	// supervisors whose agents run against other substrates only).
+	Node *node.Node
+	// Mem is the tiered-memory substrate, for the memory kind.
+	Mem *memsim.Memory
+	// Telemetry is the sampling substrate, for the sampler kind.
+	Telemetry *telemetry.Source
+	// NodeIndex is the node's index within its fleet.
+	NodeIndex int
+	// Seed is the node's seed root; builders derive per-kind config
+	// seeds from it when no Base params are provided.
+	Seed uint64
+	// Options is the environment's runtime options (fault injection,
+	// ablation); spec-level Options flags overlay it at launch.
+	Options core.Options
+	// Base, when non-nil, returns a fresh pointer to the environment's
+	// baseline params for kind (e.g. the fleet's per-node default
+	// variant), or nil when the environment has no opinion. Spec
+	// Params overlay whatever Base returns.
+	Base func(kind string) any
+}
+
+// Builder constructs one registered agent kind from its typed params.
+// Implementations live in the agent packages; params is always the
+// pointer returned by NewParams or NodeEnv.Base (the kind's Variant).
+type Builder interface {
+	// NewParams returns a pointer to the kind's params populated with
+	// canonical defaults for env (reseeded from env.Seed when set).
+	NewParams(env NodeEnv) any
+	// Customize applies the spec-level overrides: a non-empty variant
+	// name and, when sched is non-nil, a full schedule replacement.
+	Customize(params any, variant string, sched *core.Schedule)
+	// Schedule returns the params' SOL schedule — the source of the
+	// member's actuation deadline, and what load-time validation
+	// checks.
+	Schedule(params any) core.Schedule
+	// Launch builds and starts the agent on env with params.
+	Launch(env NodeEnv, params any) (core.Handle, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Builder)
+)
+
+// Register installs the builder for kind. Agent packages call it from
+// init, so importing an agent makes its kind resolvable. It panics on
+// an empty kind or a duplicate registration — both are programmer
+// errors, not runtime conditions.
+func Register(kind string, b Builder) {
+	if kind == "" {
+		panic("spec: Register with empty kind")
+	}
+	if b == nil {
+		panic("spec: Register " + kind + " with nil builder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic("spec: duplicate Register of kind " + kind)
+	}
+	registry[kind] = b
+}
+
+// Kinds returns the registered kinds, sorted.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve binds a spec to its kind's registered builder. It fails on
+// an empty or unregistered kind; params are decoded later, per
+// environment, because the baseline they overlay is per-node.
+func Resolve(a Agent) (Resolved, error) {
+	if a.Kind == "" {
+		return Resolved{}, fmt.Errorf("spec: agent has no kind")
+	}
+	regMu.RLock()
+	b := registry[a.Kind]
+	regMu.RUnlock()
+	if b == nil {
+		return Resolved{}, fmt.Errorf("spec: unknown agent kind %q (registered: %v)", a.Kind, Kinds())
+	}
+	return Resolved{spec: a, b: b}, nil
+}
+
+// Launch resolves and launches a on env in one step, returning the
+// running agent's handle and its actuation deadline.
+func Launch(a Agent, env NodeEnv) (core.Handle, time.Duration, error) {
+	r, err := Resolve(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.Launch(env)
+}
+
+// Resolved is a spec bound to its builder, ready to launch on any
+// node environment.
+type Resolved struct {
+	spec Agent
+	b    Builder
+}
+
+// Spec returns the bound spec.
+func (r Resolved) Spec() Agent { return r.spec }
+
+// params computes the final typed params for env: the environment
+// baseline (or registered defaults), overlaid with the spec's Params,
+// then the spec-level variant-name and schedule overrides.
+func (r Resolved) params(env NodeEnv) (any, error) {
+	var p any
+	if env.Base != nil {
+		p = env.Base(r.spec.Kind)
+	}
+	if p == nil {
+		p = r.b.NewParams(env)
+	}
+	if len(r.spec.Params) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(r.spec.Params))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("spec: %s params: %w", r.spec.Kind, err)
+		}
+	}
+	var sched *core.Schedule
+	if r.spec.Schedule != nil {
+		s := r.spec.Schedule.Core()
+		sched = &s
+	}
+	if r.spec.Variant != "" || sched != nil {
+		r.b.Customize(p, r.spec.Variant, sched)
+	}
+	return p, nil
+}
+
+// Params returns the final typed params the spec resolves to on env —
+// a pointer to the kind's Variant — without launching anything. Useful
+// for diffing what a spec would deploy.
+func (r Resolved) Params(env NodeEnv) (any, error) { return r.params(env) }
+
+// Deadline returns the MaxActuationDelay the spec resolves to on env.
+func (r Resolved) Deadline(env NodeEnv) (time.Duration, error) {
+	p, err := r.params(env)
+	if err != nil {
+		return 0, err
+	}
+	return r.b.Schedule(p).MaxActuationDelay, nil
+}
+
+// Launch builds and starts the agent on env, returning its handle and
+// actuation deadline. Spec-level Options flags overlay env.Options;
+// the environment's hook fields are preserved.
+func (r Resolved) Launch(env NodeEnv) (core.Handle, time.Duration, error) {
+	p, err := r.params(env)
+	if err != nil {
+		return nil, 0, err
+	}
+	if r.spec.Options != nil {
+		env.Options = r.spec.Options.Apply(env.Options)
+	}
+	h, err := r.b.Launch(env, p)
+	if err != nil {
+		return nil, 0, fmt.Errorf("spec: launch %s: %w", r.spec.Kind, err)
+	}
+	return h, r.b.Schedule(p).MaxActuationDelay, nil
+}

@@ -5,11 +5,11 @@
 # numbers here so regressions are diffable across machines and PRs
 # (pair with benchstat for significance testing).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR3.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR4.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR3.json}
+out=${1:-BENCH_PR4.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -18,11 +18,12 @@ go test -run '^$' -benchmem \
   -bench 'BenchmarkVirtualClock$|BenchmarkVirtualClockLocked$|BenchmarkVirtualAfterFunc$|BenchmarkRuntimeEpoch$|BenchmarkWindowPercentile$' \
   . | tee "$tmp"
 # Fleet benchmarks: whole-system events/s for the batch driver, the
-# lockstep (control-plane) driver, and a full rollout campaign. A few
-# fixed iterations keep the run short; each iteration is already a
-# multi-node simulation.
+# lockstep (control-plane) driver, and a full rollout campaign —
+# closure-built and manifest-driven (spec-resolved) side by side, which
+# must be within noise of each other. A few fixed iterations keep the
+# run short; each iteration is already a multi-node simulation.
 go test -run '^$' -benchmem -benchtime=3x \
-  -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$|BenchmarkFleetStepped64$|BenchmarkRollout32$' \
+  -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$|BenchmarkFleetStepped64$|BenchmarkRollout32$|BenchmarkRolloutManifest32$' \
   . | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '

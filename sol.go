@@ -32,6 +32,15 @@ import (
 
 	"sol/internal/clock"
 	"sol/internal/core"
+	"sol/internal/spec"
+
+	// The built-in agent kinds register their spec builders on import,
+	// so importing the facade alone makes them resolvable via
+	// LaunchSpec / RegisteredKinds.
+	_ "sol/internal/agents/harvest"
+	_ "sol/internal/agents/memory"
+	_ "sol/internal/agents/overclock"
+	_ "sol/internal/agents/sampler"
 )
 
 // Core API aliases: the facade and internal/core describe the same
@@ -51,6 +60,9 @@ type (
 	Options = core.Options
 	// Runtime is a running agent.
 	Runtime[D, P any] = core.Runtime[D, P]
+	// Handle is a type-erased running agent, the uniform view
+	// supervisors and spec launches return.
+	Handle = core.Handle
 	// Stats are the runtime's counters.
 	Stats = core.Stats
 	// EpochInfo summarizes one learning epoch for the OnEpoch hook.
@@ -65,6 +77,17 @@ type (
 	Timer = clock.Timer
 	// ScheduleViolationHandler is the optional late-model-step callback.
 	ScheduleViolationHandler = core.ScheduleViolationHandler
+
+	// AgentSpec is a serializable, declarative agent deployment — the
+	// stored/diffable alternative to launching agents in code. Resolve
+	// it against a NodeEnv with LaunchSpec.
+	AgentSpec = spec.Agent
+	// NodeEnv is the per-node environment (clock, substrates, seeds)
+	// agent specs resolve against.
+	NodeEnv = spec.NodeEnv
+	// KindBuilder constructs one registered agent kind from its typed
+	// spec params; agent packages implement it and RegisterKind it.
+	KindBuilder = spec.Builder
 )
 
 // Run starts an agent's Model and Actuator control loops on clk
@@ -92,3 +115,18 @@ func NewVirtualClockSingle(start time.Time) *VirtualClock { return clock.NewVirt
 // NewRealClock returns the wall clock, for agents deployed on real
 // nodes.
 func NewRealClock() Clock { return clock.NewReal() }
+
+// RegisterKind installs a builder for an agent kind, making it
+// resolvable from declarative specs (campaign manifests, LaunchSpec).
+// The four built-in agents register themselves on import.
+func RegisterKind(kind string, b KindBuilder) { spec.Register(kind, b) }
+
+// RegisteredKinds lists the resolvable agent kinds, sorted.
+func RegisteredKinds() []string { return spec.Kinds() }
+
+// LaunchSpec resolves a declarative agent spec against the kind
+// registry and starts it on env, returning the running agent's handle
+// and its actuation deadline (for supervision).
+func LaunchSpec(a AgentSpec, env NodeEnv) (core.Handle, time.Duration, error) {
+	return spec.Launch(a, env)
+}

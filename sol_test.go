@@ -145,3 +145,21 @@ func TestRealClockConstructor(t *testing.T) {
 		t.Fatal("real clock returned zero time")
 	}
 }
+
+// TestFacadeSpecKinds: importing the facade alone must make the
+// built-in agent kinds resolvable — external consumers cannot import
+// the internal agent packages themselves.
+func TestFacadeSpecKinds(t *testing.T) {
+	kinds := RegisteredKinds()
+	want := map[string]bool{"harvest": false, "memory": false, "overclock": false, "sampler": false}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("kind %q not resolvable through the facade (have %v)", k, kinds)
+		}
+	}
+}
