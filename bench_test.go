@@ -214,6 +214,174 @@ func BenchmarkFleetStepped64(b *testing.B) {
 	benchFleetStepped(b, 64, 0, 5*time.Second, time.Second)
 }
 
+// --- Sharded coordination benchmarks ---
+//
+// The scenario both sides run: a fleet with a 1% canary cohort under
+// fine-grained observation (2 ms — actuation/tick granularity, for
+// studying a candidate's transient safety envelope) while the other
+// 99% of nodes just need to reach the horizon. The single-barrier
+// coordinator has one clock for everyone, so the whole fleet pays the
+// canary's cadence: every node is visited every 2 ms, and at >= 1k
+// nodes each revisit restarts from cold cache. The sharded conductor
+// confines the cadence to the cohort and free-runs the rest to the
+// next alignment — identical simulated events, radically less
+// coordination. This is the structural gap that caps single-barrier
+// fleet size (and on multi-core machines the shards also advance in
+// parallel; this container is single-core, so the numbers here are
+// pure coordination overhead, no parallelism).
+
+// benchCohort returns the 1%-strided canary cohort for a fleet.
+func benchCohort(nodes int) []int {
+	cohort := make([]int, 0, nodes/100)
+	for i := 0; i < nodes; i += 100 {
+		cohort = append(cohort, i)
+	}
+	return cohort
+}
+
+// benchSteppedCanary drives the classic single-barrier coordinator:
+// every node advances at the observation cadence, the cohort's health
+// is read at every barrier.
+func benchSteppedCanary(b *testing.B, nodes int, dur, cadence time.Duration) {
+	b.Helper()
+	cfg := fleet.Config{
+		Nodes:    nodes,
+		Duration: dur,
+		Setup:    fleet.StandardNode(fleet.StandardNodeConfig{Seed: 1}),
+	}
+	cohort := benchCohort(nodes)
+	var events uint64
+	var scratch []fleet.MemberHealth
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.RunStepped(cfg, cadence, func(_ int, c *fleet.Coordinator) error {
+			for _, idx := range cohort {
+				scratch = c.Supervisor(idx).HealthDetailInto(scratch)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(nodes)*dur.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "node-s/s")
+}
+
+// benchShardedCanary drives the same fleet, horizon, cohort, and
+// observation cadence on the sharded conductor: each shard steps only
+// its cohort members at the cadence and free-runs its other nodes to
+// the horizon in one visit each.
+func benchShardedCanary(b *testing.B, nodes, shards int, dur, cadence time.Duration) {
+	b.Helper()
+	cfg := fleet.Config{
+		Nodes:    nodes,
+		Duration: dur,
+		Shards:   shards,
+		Setup:    fleet.StandardNode(fleet.StandardNodeConfig{Seed: 1}),
+	}
+	cohort := benchCohort(nodes)
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		co, err := fleet.NewCoordinator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		con := co.Conductor()
+		byShard := make([][]int, con.Shards())
+		scratch := make([][]fleet.MemberHealth, con.Shards())
+		for _, idx := range cohort {
+			s := con.ShardOf(idx)
+			byShard[s] = append(byShard[s], idx)
+		}
+		err = co.Span(ShardSpan{
+			Until:    dur,
+			Interval: cadence,
+			Stepped:  func(s int) []int { return byShard[s] },
+			OnEpoch: func(s, _ int, _, _ time.Duration) {
+				for _, idx := range byShard[s] {
+					scratch[s] = co.Supervisor(idx).HealthDetailInto(scratch[s])
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := co.Report()
+		co.StopAll()
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(nodes)*dur.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "node-s/s")
+}
+
+// BenchmarkFleet1kStepped / BenchmarkFleet1kSharded: the 1k-node
+// canary-observation pair at equal worker budget.
+func BenchmarkFleet1kStepped(b *testing.B) {
+	benchSteppedCanary(b, 1000, 500*time.Millisecond, 2*time.Millisecond)
+}
+
+func BenchmarkFleet1kSharded(b *testing.B) {
+	benchShardedCanary(b, 1000, 8, 500*time.Millisecond, 2*time.Millisecond)
+}
+
+// BenchmarkFleet4kStepped / BenchmarkFleet4kSharded: at 4k nodes the
+// per-epoch sweep no longer fits any cache level and the single
+// barrier's cost dominates; this is the pair that shows the >= 1.5x
+// structural gap.
+func BenchmarkFleet4kStepped(b *testing.B) {
+	benchSteppedCanary(b, 4000, 500*time.Millisecond, 2*time.Millisecond)
+}
+
+func BenchmarkFleet4kSharded(b *testing.B) {
+	benchShardedCanary(b, 4000, 16, 500*time.Millisecond, 2*time.Millisecond)
+}
+
+// BenchmarkFleet10kSharded is the ROADMAP's north-star feasibility
+// check: a 10k-node, 30k-agent fleet simulated in one process on the
+// sharded conductor, with the canary cohort still observed at 2 ms.
+func BenchmarkFleet10kSharded(b *testing.B) {
+	benchShardedCanary(b, 10000, 32, 250*time.Millisecond, 2*time.Millisecond)
+}
+
+// BenchmarkRollout32Sharded is BenchmarkRollout32 on the sharded
+// campaign engine (4 shards): per-shard cohorts, shard-local soak
+// observation, alignment only at gate boundaries. At the control
+// plane's coarse 5 s epochs the two engines are within noise — the
+// sharded one pays for its structure only where fine cadences would
+// otherwise serialize the fleet.
+func BenchmarkRollout32Sharded(b *testing.B) {
+	cfg, err := controlplane.NewScenario(controlplane.ScenarioSpec{
+		Scenario: controlplane.ScenarioHealthy,
+		Nodes:    32,
+		Duration: 45 * time.Second,
+		Interval: 5 * time.Second,
+		Kinds:    []string{"harvest"},
+		Seed:     1,
+		Shards:   4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	completed := true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := controlplane.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Fleet.Events
+		completed = completed && rep.Completed
+	}
+	if !completed {
+		b.Fatal("sharded healthy rollout did not complete")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkRollout32 runs a full healthy rollout campaign — canary to
 // 100% in four health-gated waves — over a 32-node lockstep fleet.
 func BenchmarkRollout32(b *testing.B) {

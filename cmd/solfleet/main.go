@@ -5,12 +5,20 @@
 // worker pool and the runtime counters are aggregated per agent kind
 // into a fleet-operator report.
 //
+// With -shards N the fleet runs on the sharded coordinator instead of
+// the streaming batch driver: the nodes are partitioned into N shards
+// that free-run independently to the horizon (one barrier each, at the
+// end), which keeps every node's state alive for mid-run control and
+// is the coordination structure that scales one-process simulation to
+// 10k-node fleets. The report is byte-identical either way.
+//
 // Usage:
 //
 //	solfleet                                  # 100 nodes x 3 agents, 60s
 //	solfleet -nodes 500 -duration 2m
 //	solfleet -agents overclock,harvest,memory,sampler -nodes 250
 //	solfleet -workers 4 -seed 9 -detail
+//	solfleet -nodes 10000 -duration 5s -shards 16
 package main
 
 import (
@@ -30,6 +38,8 @@ func main() {
 		agents   = flag.String("agents", strings.Join(fleet.StandardKinds, ","),
 			"comma-separated agent kinds to co-locate on every node")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 0,
+			"run on the sharded coordinator with this many shards (0 = streaming batch driver)")
 		seed    = flag.Uint64("seed", 1, "fleet-wide workload seed")
 		regions = flag.Int("regions", 128, "tiered-memory regions per node (memory agent)")
 		detail  = flag.Bool("detail", false, "print full aggregated runtime counters per kind")
@@ -49,10 +59,14 @@ func main() {
 		log.Fatalf("solfleet: -regions = %d, must be >= 1", *regions)
 	}
 
+	if *shards < 0 {
+		log.Fatalf("solfleet: -shards = %d, must be >= 0", *shards)
+	}
 	cfg := fleet.Config{
 		Nodes:    *nodes,
 		Duration: *duration,
 		Workers:  *workers,
+		Shards:   *shards,
 		Setup: fleet.StandardNode(fleet.StandardNodeConfig{
 			Kinds:      kinds,
 			Seed:       *seed,
@@ -60,10 +74,25 @@ func main() {
 		}),
 	}
 
-	fmt.Printf("simulating %d nodes x %d co-located agents (%s) for %v each...\n",
-		*nodes, len(kinds), strings.Join(kinds, ", "), *duration)
+	shardLabel := ""
+	if *shards > 0 {
+		shardLabel = fmt.Sprintf(" on %d shard(s)", *shards)
+	}
+	fmt.Printf("simulating %d nodes x %d co-located agents (%s) for %v each%s...\n",
+		*nodes, len(kinds), strings.Join(kinds, ", "), *duration, shardLabel)
 	wall := time.Now()
-	rep, err := fleet.Run(cfg)
+	var rep *fleet.Report
+	var err error
+	if *shards > 0 {
+		var co *fleet.Coordinator
+		if co, err = fleet.NewCoordinator(cfg); err == nil {
+			co.StepFor(cfg.Duration)
+			rep = co.Report()
+			co.StopAll()
+		}
+	} else {
+		rep, err = fleet.Run(cfg)
+	}
 	if err != nil {
 		log.Fatalf("solfleet: %v", err)
 	}

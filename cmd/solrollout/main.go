@@ -21,12 +21,20 @@
 //
 //	solrollout -config examples/rollout/manifest.json
 //
+// -shards partitions the fleet coordination: each shard soaks and
+// observes its cohort slice on its own barrier, and the fleet aligns
+// only at gate boundaries (see internal/shard). -plan reviews a
+// manifest without running anything: it prints the resolved node-0
+// variant delta (baseline vs candidate) per target kind.
+//
 // Usage:
 //
 //	solrollout                                   # healthy, 100 nodes
 //	solrollout -scenario bad-variant -nodes 250
 //	solrollout -scenario fault-storm -waves 0.02,0.1,0.5,1 -soak 3
 //	solrollout -config manifest.json -expect rollback
+//	solrollout -config manifest.json -shards 8   # sharded coordination
+//	solrollout -config manifest.json -plan       # dry-run review
 package main
 
 import (
@@ -56,7 +64,11 @@ func main() {
 			"comma-separated agent kinds to co-locate on every node")
 		seed    = flag.Uint64("seed", 1, "fleet-wide workload and cohort-shuffle seed")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		expect  = flag.String("expect", "",
+		shards  = flag.Int("shards", -1,
+			"coordination shards: 0 = classic single-barrier engine, N >= 1 = sharded conductor (-1 = manifest/default)")
+		plan = flag.Bool("plan", false,
+			"dry run: print the manifest's resolved per-kind variant delta (node 0) and exit without running the fleet")
+		expect = flag.String("expect", "",
 			"exit nonzero unless the campaign ends this way: complete, rollback (default: no check)")
 	)
 	flag.Parse()
@@ -65,6 +77,12 @@ func main() {
 	default:
 		log.Fatalf("solrollout: -expect %q, want complete or rollback", *expect)
 	}
+	if *plan && *expect != "" {
+		// A dry run never executes the campaign, so an outcome
+		// assertion would pass vacuously — refuse the combination
+		// instead of letting a CI check silently stop checking.
+		log.Fatalf("solrollout: -plan runs nothing, so -expect %s cannot be checked; drop one of the flags", *expect)
+	}
 
 	var cfg controlplane.Config
 	if *config != "" {
@@ -72,10 +90,23 @@ func main() {
 		if err != nil {
 			log.Fatalf("solrollout: %v", err)
 		}
+		if *shards >= 0 {
+			m.Shards = *shards
+		}
+		if *plan {
+			out, err := m.Plan()
+			if err != nil {
+				log.Fatalf("solrollout: %v", err)
+			}
+			fmt.Println(out)
+			return
+		}
 		cfg, err = m.Config()
 		if err != nil {
 			log.Fatalf("solrollout: %v", err)
 		}
+	} else if *plan {
+		log.Fatalf("solrollout: -plan needs a manifest (-config)")
 	} else {
 		var kinds []string
 		for _, k := range strings.Split(*agents, ",") {
@@ -93,8 +124,7 @@ func main() {
 				fracs = append(fracs, f)
 			}
 		}
-		var err error
-		cfg, err = controlplane.NewScenario(controlplane.ScenarioSpec{
+		sc := controlplane.ScenarioSpec{
 			Scenario:   *scenario,
 			Nodes:      *nodes,
 			Duration:   *duration,
@@ -104,15 +134,24 @@ func main() {
 			Kinds:      kinds,
 			Seed:       *seed,
 			Workers:    *workers,
-		})
+		}
+		if *shards >= 0 {
+			sc.Shards = *shards
+		}
+		var err error
+		cfg, err = controlplane.NewScenario(sc)
 		if err != nil {
 			log.Fatalf("solrollout: %v", err)
 		}
 	}
 
 	if camp := cfg.Campaign; camp != nil {
-		fmt.Printf("rolling out %q (kinds %s) across %d nodes for %v, %v lockstep epochs...\n",
-			camp.Name, strings.Join(camp.Kinds(), "+"), cfg.Fleet.Nodes, cfg.Fleet.Duration, cfg.Interval)
+		shardLabel := ""
+		if cfg.Fleet.Shards > 0 {
+			shardLabel = fmt.Sprintf(" on %d shard(s)", cfg.Fleet.Shards)
+		}
+		fmt.Printf("rolling out %q (kinds %s) across %d nodes%s for %v, %v lockstep epochs...\n",
+			camp.Name, strings.Join(camp.Kinds(), "+"), cfg.Fleet.Nodes, shardLabel, cfg.Fleet.Duration, cfg.Interval)
 	} else {
 		fmt.Printf("driving %d nodes for %v with no campaign, %v lockstep epochs...\n",
 			cfg.Fleet.Nodes, cfg.Fleet.Duration, cfg.Interval)

@@ -17,11 +17,21 @@ import (
 // rolled-back run's final report shows the fleet's post-rollback
 // health, directly comparable to a no-campaign run of the same config.
 //
+// When cfg.Fleet.Shards >= 1 the run executes on the sharded conductor
+// (see runSharded): per-shard cohorts, shard-local soak observation,
+// and fleet-wide alignment only at gate boundaries. Shards == 0 keeps
+// the classic single-barrier drive below; a one-shard sharded run is
+// byte-identical to it (tested), so the two paths differ only in
+// coordination structure, never in outcome.
+//
 // Determinism contract: identical configs produce byte-identical wave
 // traces and reports (Report.String), whatever the worker-pool width.
 func Run(cfg Config) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Fleet.Shards >= 1 {
+		return runSharded(cfg)
 	}
 	co, err := fleet.NewCoordinator(cfg.Fleet)
 	if err != nil {
@@ -38,7 +48,7 @@ func Run(cfg Config) (*Report, error) {
 		// A campaign for a kind no node runs would pass every gate
 		// vacuously and report "completed"; refuse it instead.
 		for _, tg := range st.targets {
-			if !st.kindPresent(tg.kind) {
+			if !kindPresent(co, tg.kind) {
 				return nil, fmt.Errorf("controlplane: campaign %q targets kind %q, but no node runs it",
 					cfg.Campaign.Name, tg.kind)
 			}
@@ -76,10 +86,104 @@ type memberKey struct {
 	name string
 }
 
+// campaignOutcome is the engine-independent half of a campaign: the
+// wave counter, verdict, and trace. Both engines — the single-barrier
+// drive below and the sharded conductor (sharded.go) — run the same
+// state machine through these methods, so the trace shape and verdict
+// fields cannot drift between them; only how cohorts are partitioned,
+// observed, and deployed differs.
+type campaignOutcome struct {
+	camp         *Campaign
+	wave         int // index of the next wave to convert
+	converted    int // nodes currently converted
+	maxConverted int
+	done         bool
+	completed    bool
+	rolledBack   bool
+	failure      taxonomy.FailureClass
+	failureWave  int
+	reason       string
+	trace        []WaveEvent
+}
+
+// beginWave records a conversion: total is the whole converted cohort
+// after the engine deployed the new wave's slices.
+func (o *campaignOutcome) beginWave(epoch int, at time.Duration, total int) {
+	o.converted = total
+	if total > o.maxConverted {
+		o.maxConverted = total
+	}
+	o.wave++
+	o.trace = append(o.trace, WaveEvent{
+		Epoch: epoch, At: at, Wave: o.wave,
+		Action: ActionConvert, Converted: o.converted,
+	})
+}
+
+// failWave records a tripped gate. The engine reverts the cohort next
+// and then calls finishRollback — the deploys happen between the two
+// trace events, exactly when the fleet is quiescent at the barrier.
+func (o *campaignOutcome) failWave(epoch int, at time.Duration, h CohortHealth, res GateResult) {
+	o.trace = append(o.trace, WaveEvent{
+		Epoch: epoch, At: at, Wave: o.wave,
+		Action: ActionFail, Converted: o.converted,
+		Health: h, Reason: res.Reason, Class: res.Class,
+	})
+}
+
+// finishRollback records the completed revert and settles the verdict.
+func (o *campaignOutcome) finishRollback(epoch int, at time.Duration, res GateResult) {
+	o.trace = append(o.trace, WaveEvent{
+		Epoch: epoch, At: at, Wave: o.wave,
+		Action: ActionRollback, Converted: o.converted, Class: res.Class,
+	})
+	o.rolledBack = true
+	o.failure = res.Class
+	o.failureWave = o.wave
+	o.reason = res.Reason
+	o.converted = 0
+	o.done = true
+}
+
+// passWave records a passed gate: the final wave completes the
+// campaign (returns true); any earlier wave records a pass and leaves
+// the engine to convert the next wave.
+func (o *campaignOutcome) passWave(epoch int, at time.Duration, h CohortHealth) bool {
+	if o.wave == len(o.camp.Waves) {
+		o.trace = append(o.trace, WaveEvent{
+			Epoch: epoch, At: at, Wave: o.wave,
+			Action: ActionComplete, Converted: o.converted, Health: h,
+		})
+		o.completed = true
+		o.done = true
+		return true
+	}
+	o.trace = append(o.trace, WaveEvent{
+		Epoch: epoch, At: at, Wave: o.wave,
+		Action: ActionPass, Converted: o.converted, Health: h,
+	})
+	return false
+}
+
+// fill copies the campaign outcome into the run report.
+func (o *campaignOutcome) fill(rep *Report) {
+	rep.Campaign = o.camp.Name
+	rep.Kinds = o.camp.Kinds()
+	rep.Waves = o.camp.Waves
+	rep.Trace = o.trace
+	rep.Completed = o.completed
+	rep.RolledBack = o.rolledBack
+	rep.Failure = o.failure
+	rep.FailureWave = o.failureWave
+	rep.FailureReason = o.reason
+	rep.MaxConverted = o.maxConverted
+	rep.Converted = o.converted
+}
+
 // campaignState is the wave state machine between lockstep barriers.
 type campaignState struct {
-	camp *Campaign
-	co   *fleet.Coordinator
+	campaignOutcome
+	co *fleet.Coordinator
 	// targets are the compiled per-kind deploy operations; kinds is
 	// the membership set cohort health aggregates over.
 	targets []compiledTarget
@@ -87,21 +191,13 @@ type campaignState struct {
 
 	// order is the deterministic node shuffle; nodes convert in this
 	// order, so order[:converted] is always the converted cohort.
-	order        []int
-	wave         int // index of the next wave to convert
-	converted    int // nodes currently converted
-	maxConverted int
-	soak         int // epochs left before the current wave's gate
-	done         bool
-	completed    bool
-	rolledBack   bool
-	failure      taxonomy.FailureClass
-	failureWave  int
-	reason       string
+	order []int
+	soak  int // epochs left before the current wave's gate
 	// prev holds each cohort agent's action count at the last barrier,
-	// for per-epoch deadline-compliance deltas.
-	prev  map[memberKey]uint64
-	trace []WaveEvent
+	// for per-epoch deadline-compliance deltas; scratch is the reused
+	// member-health buffer of the per-epoch cohort poll.
+	prev    map[memberKey]uint64
+	scratch []fleet.MemberHealth
 }
 
 func newCampaignState(camp *Campaign, co *fleet.Coordinator) (*campaignState, error) {
@@ -114,19 +210,19 @@ func newCampaignState(camp *Campaign, co *fleet.Coordinator) (*campaignState, er
 		kinds[tg.kind] = true
 	}
 	return &campaignState{
-		camp:    camp,
-		co:      co,
-		targets: targets,
-		kinds:   kinds,
-		order:   stats.NewRNG(camp.Seed ^ 0xc0a1e5ce).Perm(co.Nodes()),
-		prev:    make(map[memberKey]uint64),
+		campaignOutcome: campaignOutcome{camp: camp},
+		co:              co,
+		targets:         targets,
+		kinds:           kinds,
+		order:           stats.NewRNG(camp.Seed ^ 0xc0a1e5ce).Perm(co.Nodes()),
+		prev:            make(map[memberKey]uint64),
 	}, nil
 }
 
 // kindPresent reports whether any node runs a member of kind.
-func (s *campaignState) kindPresent(kind string) bool {
-	for i := 0; i < s.co.Nodes(); i++ {
-		for _, m := range s.co.Supervisor(i).Members() {
+func kindPresent(co *fleet.Coordinator, kind string) bool {
+	for i := 0; i < co.Nodes(); i++ {
+		for _, m := range co.Supervisor(i).Members() {
 			if m.Kind == kind {
 				return true
 			}
@@ -135,13 +231,15 @@ func (s *campaignState) kindPresent(kind string) bool {
 	return false
 }
 
-// deploy converts (or, with revert, rolls back) every member of every
-// target kind on node nodeIdx, resetting each member's deadline
-// bookkeeping. All targets convert at the same barrier — a multi-kind
-// campaign's cohort is never half-deployed.
-func (s *campaignState) deploy(nodeIdx int, revert bool) error {
-	sup := s.co.Supervisor(nodeIdx)
-	for _, tg := range s.targets {
+// deployTargets converts (or, with revert, rolls back) every member of
+// every target kind on node nodeIdx, resetting each member's deadline
+// bookkeeping in prev. All targets convert at the same barrier — a
+// multi-kind campaign's cohort is never half-deployed. Both campaign
+// engines (the single-barrier drive and the sharded conductor) deploy
+// through here.
+func deployTargets(co *fleet.Coordinator, targets []compiledTarget, prev map[memberKey]uint64, nodeIdx int, revert bool) error {
+	sup := co.Supervisor(nodeIdx)
+	for _, tg := range targets {
 		for _, m := range sup.Members() {
 			if m.Kind != tg.kind {
 				continue
@@ -153,10 +251,15 @@ func (s *campaignState) deploy(nodeIdx int, revert bool) error {
 			if err := op(sup, m.Name, nodeIdx); err != nil {
 				return err
 			}
-			s.prev[memberKey{nodeIdx, m.Name}] = 0
+			prev[memberKey{nodeIdx, m.Name}] = 0
 		}
 	}
 	return nil
+}
+
+// deploy is deployTargets over this campaign's state.
+func (s *campaignState) deploy(nodeIdx int, revert bool) error {
+	return deployTargets(s.co, s.targets, s.prev, nodeIdx, revert)
 }
 
 // convertNextWave converts the next wave's cohort slice to the
@@ -169,44 +272,16 @@ func (s *campaignState) convertNextWave(epoch int) error {
 			return err
 		}
 	}
-	s.converted = target
-	if target > s.maxConverted {
-		s.maxConverted = target
-	}
-	s.wave++
 	s.soak = s.camp.SoakEpochs
-	s.trace = append(s.trace, WaveEvent{
-		Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
-		Action: ActionConvert, Converted: s.converted,
-	})
-	return nil
-}
-
-// rollback reverts the whole converted cohort to the baseline
-// variants.
-func (s *campaignState) rollback(epoch int, res GateResult) error {
-	for i := 0; i < s.converted; i++ {
-		if err := s.deploy(s.order[i], true); err != nil {
-			return err
-		}
-	}
-	s.trace = append(s.trace, WaveEvent{
-		Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
-		Action: ActionRollback, Converted: s.converted, Class: res.Class,
-	})
-	s.rolledBack = true
-	s.failure = res.Class
-	s.failureWave = s.wave
-	s.reason = res.Reason
-	s.converted = 0
-	s.done = true
+	s.beginWave(epoch, s.co.Elapsed(), target)
 	return nil
 }
 
 // observe runs at every lockstep barrier: it aggregates cohort health
 // (keeping per-epoch deadline deltas fresh even while soaking) and,
 // when the soak is over, judges the gate and advances, completes, or
-// rolls back the campaign.
+// rolls back the campaign (reverting the whole converted cohort to the
+// baseline variants).
 func (s *campaignState) observe(epoch int, step time.Duration) error {
 	if s.done {
 		return nil
@@ -218,41 +293,40 @@ func (s *campaignState) observe(epoch int, step time.Duration) error {
 	if s.soak > 0 {
 		return nil
 	}
+	at := s.co.Elapsed()
 	res := s.camp.Gate.Check(h)
 	if !res.OK {
-		s.trace = append(s.trace, WaveEvent{
-			Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
-			Action: ActionFail, Converted: s.converted,
-			Health: h, Reason: res.Reason, Class: res.Class,
-		})
-		return s.rollback(epoch, res)
-	}
-	if s.wave == len(s.camp.Waves) {
-		s.trace = append(s.trace, WaveEvent{
-			Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
-			Action: ActionComplete, Converted: s.converted, Health: h,
-		})
-		s.completed = true
-		s.done = true
+		s.failWave(epoch, at, h, res)
+		for i := 0; i < s.converted; i++ {
+			if err := s.deploy(s.order[i], true); err != nil {
+				return err
+			}
+		}
+		s.finishRollback(epoch, at, res)
 		return nil
 	}
-	s.trace = append(s.trace, WaveEvent{
-		Epoch: epoch, At: s.co.Elapsed(), Wave: s.wave,
-		Action: ActionPass, Converted: s.converted, Health: h,
-	})
+	if s.passWave(epoch, at, h) {
+		return nil
+	}
 	return s.convertNextWave(epoch)
 }
 
-// cohortHealth aggregates every target kind over the converted cohort
-// at the current barrier and updates the per-agent action bookkeeping.
-// step is the last epoch's length, for the deadline floor. The union
-// is what the shared gate judges: in a multi-kind campaign, one kind's
-// safeguard trips fail the wave for all of them.
-func (s *campaignState) cohortHealth(step time.Duration) CohortHealth {
+// cohortHealthOver aggregates every target kind over the given
+// converted nodes at the current barrier and updates the per-agent
+// action bookkeeping in prev. step is the last epoch's length, for the
+// deadline floor. The union is what the shared gate judges: in a
+// multi-kind campaign, one kind's safeguard trips fail the wave for
+// all of them. The single-barrier engine passes the whole converted
+// cohort; the sharded engine passes one shard's slice (its shard-local
+// observation), and the gate judges the shard healths summed. scratch
+// is the caller's reusable member-health buffer, so per-epoch cohort
+// polling allocates nothing in steady state.
+func cohortHealthOver(co *fleet.Coordinator, kinds map[string]bool, nodes []int, prev map[memberKey]uint64, step time.Duration, scratch *[]fleet.MemberHealth) CohortHealth {
 	var h CohortHealth
-	for _, nodeIdx := range s.order[:s.converted] {
-		for _, mh := range s.co.Supervisor(nodeIdx).HealthDetail() {
-			if !s.kinds[mh.Kind] {
+	for _, nodeIdx := range nodes {
+		*scratch = co.Supervisor(nodeIdx).HealthDetailInto(*scratch)
+		for _, mh := range *scratch {
+			if !kinds[mh.Kind] {
 				continue
 			}
 			hh := mh.Health
@@ -271,8 +345,8 @@ func (s *campaignState) cohortHealth(step time.Duration) CohortHealth {
 			h.DataCollected += hh.DataCollected
 
 			key := memberKey{nodeIdx, mh.Name}
-			delta := hh.Actions - s.prev[key]
-			s.prev[key] = hh.Actions
+			delta := hh.Actions - prev[key]
+			prev[key] = hh.Actions
 			// Same eligibility rule as the fleet report: a configured
 			// deadline no longer than the epoch, and never halted —
 			// halting is the sanctioned way to stop acting.
@@ -288,17 +362,7 @@ func (s *campaignState) cohortHealth(step time.Duration) CohortHealth {
 	return h
 }
 
-// fill copies the campaign outcome into the run report.
-func (s *campaignState) fill(rep *Report) {
-	rep.Campaign = s.camp.Name
-	rep.Kinds = s.camp.Kinds()
-	rep.Waves = s.camp.Waves
-	rep.Trace = s.trace
-	rep.Completed = s.completed
-	rep.RolledBack = s.rolledBack
-	rep.Failure = s.failure
-	rep.FailureWave = s.failureWave
-	rep.FailureReason = s.reason
-	rep.MaxConverted = s.maxConverted
-	rep.Converted = s.converted
+// cohortHealth is cohortHealthOver on the whole converted cohort.
+func (s *campaignState) cohortHealth(step time.Duration) CohortHealth {
+	return cohortHealthOver(s.co, s.kinds, s.order[:s.converted], s.prev, step, &s.scratch)
 }

@@ -295,6 +295,24 @@ type CohortHealth struct {
 	DeadlineEligible int
 }
 
+// add accumulates o into h, field-wise. The sharded campaign engine
+// sums per-shard cohort healths into the union the shared gate judges;
+// every field is a count, so the sum over shards equals the
+// single-pass aggregation over the whole cohort.
+func (h *CohortHealth) add(o CohortHealth) {
+	h.Agents += o.Agents
+	h.Halted += o.Halted
+	h.ModelFailing += o.ModelFailing
+	h.ActuatorTriggers += o.ActuatorTriggers
+	h.ModelTriggers += o.ModelTriggers
+	h.Mitigations += o.Mitigations
+	h.ScheduleViolations += o.ScheduleViolations
+	h.DataRejected += o.DataRejected
+	h.DataCollected += o.DataCollected
+	h.DeadlineMet += o.DeadlineMet
+	h.DeadlineEligible += o.DeadlineEligible
+}
+
 // String renders the cohort health as one deterministic line.
 func (h CohortHealth) String() string {
 	deadline := "n/a"

@@ -24,6 +24,13 @@ import (
 // (DefaultWaves, DefaultSoakEpochs, DefaultGate). Unknown fields are
 // rejected, so typos fail at load, not at the canary.
 type Manifest struct {
+	// Version is the manifest schema version; 0 (absent) means 1.
+	// Parsing rejects versions newer than ManifestVersion, so a
+	// manifest written by a newer binary fails loudly here instead of
+	// half-decoding. Within a version, params that stop decoding
+	// against a changed agent kind are caught at resolve time with a
+	// migration hint naming the kind and field.
+	Version int `json:"version,omitempty"`
 	// Name labels the run; reports use the campaign's own name.
 	Name string `json:"name,omitempty"`
 	// Nodes and Duration size the fleet.
@@ -31,6 +38,11 @@ type Manifest struct {
 	Duration spec.Duration `json:"duration"`
 	// Interval is the lockstep observation epoch; 0 means 5 s.
 	Interval spec.Duration `json:"interval,omitempty"`
+	// Shards partitions the fleet coordination: each shard soaks and
+	// observes its cohort slice locally and the fleet aligns only at
+	// gate boundaries. 0 means the classic single-barrier engine; 1
+	// is the sharded engine with one shard (byte-identical traces).
+	Shards int `json:"shards,omitempty"`
 	// Kinds is the per-node co-location; nil means
 	// fleet.StandardKinds.
 	Kinds []string `json:"kinds,omitempty"`
@@ -74,16 +86,32 @@ func LoadManifest(path string) (*Manifest, error) {
 	return m, nil
 }
 
-// Validate checks the manifest without building a fleet: sizing, and
-// that every campaign target resolves against the kind registry.
+// defaultInterval is the lockstep observation epoch a manifest gets
+// when it does not set one.
+const defaultInterval = 5 * time.Second
+
+// ManifestVersion is the manifest schema version this binary writes
+// and the newest it accepts. Bump it when the manifest shape itself
+// changes incompatibly; agent-param drift within a version is caught
+// field-by-field at resolve time instead.
+const ManifestVersion = 1
+
+// Validate checks the manifest without building a fleet: schema
+// version, sizing, and that every campaign target resolves against
+// the kind registry.
 func (m *Manifest) Validate() error {
 	switch {
+	case m.Version < 0 || m.Version > ManifestVersion:
+		return fmt.Errorf("controlplane: manifest version %d is not supported (this binary speaks versions 1..%d) — re-export the manifest for this binary or upgrade it",
+			m.Version, ManifestVersion)
 	case m.Nodes < 1:
 		return fmt.Errorf("controlplane: manifest nodes = %d, must be >= 1", m.Nodes)
 	case m.Duration <= 0:
 		return fmt.Errorf("controlplane: manifest duration = %v, must be positive", m.Duration.D())
 	case m.Interval < 0:
 		return fmt.Errorf("controlplane: manifest interval = %v, must be >= 0", m.Interval.D())
+	case m.Shards < 0:
+		return fmt.Errorf("controlplane: manifest shards = %d, must be >= 0", m.Shards)
 	}
 	if m.Campaign != nil {
 		return m.Campaign.validate()
@@ -91,12 +119,9 @@ func (m *Manifest) Validate() error {
 	return nil
 }
 
-// Config compiles the manifest into a runnable control-plane config
-// over a StandardNode fleet.
-func (m *Manifest) Config() (Config, error) {
-	if err := m.Validate(); err != nil {
-		return Config{}, err
-	}
+// std returns the StandardNode configuration the manifest's fleet is
+// built from — also the baseline the -plan dry run diffs against.
+func (m *Manifest) std() fleet.StandardNodeConfig {
 	std := fleet.StandardNodeConfig{
 		Seed:       m.Seed,
 		Kinds:      m.Kinds,
@@ -105,16 +130,26 @@ func (m *Manifest) Config() (Config, error) {
 	if m.Options != nil {
 		std.Options = m.Options.Apply(std.Options)
 	}
+	return std
+}
+
+// Config compiles the manifest into a runnable control-plane config
+// over a StandardNode fleet.
+func (m *Manifest) Config() (Config, error) {
+	if err := m.Validate(); err != nil {
+		return Config{}, err
+	}
 	interval := m.Interval.D()
 	if interval == 0 {
-		interval = 5 * time.Second
+		interval = defaultInterval
 	}
 	return Config{
 		Fleet: fleet.Config{
 			Nodes:    m.Nodes,
 			Duration: m.Duration.D(),
 			Workers:  m.Workers,
-			Setup:    fleet.StandardNode(std),
+			Shards:   m.Shards,
+			Setup:    fleet.StandardNode(m.std()),
 			Start:    fleet.DefaultStart,
 		},
 		Interval: interval,

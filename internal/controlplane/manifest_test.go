@@ -10,6 +10,7 @@ import (
 
 	"sol/internal/agents/harvest"
 	"sol/internal/fleet"
+	"sol/internal/spec"
 )
 
 const exampleManifest = "../../examples/rollout/manifest.json"
@@ -237,5 +238,149 @@ func TestManifestValidation(t *testing.T) {
 		if _, err := ParseManifest([]byte(bad)); err == nil {
 			t.Fatalf("%s: bad manifest accepted:\n%s", name, bad)
 		}
+	}
+}
+
+// TestManifestVersion pins the schema-evolution contract: version 0
+// (absent) and the current version parse; anything newer than this
+// binary speaks is rejected naming both versions, so a manifest from a
+// future binary fails at load, not at the canary.
+func TestManifestVersion(t *testing.T) {
+	t.Parallel()
+	withVersion := func(v string) string {
+		return `{"version": ` + v + `, "nodes": 4, "duration": "10s", "kinds": ["harvest"],
+			"campaign": {"name": "x", "targets": [{"candidate": {"kind": "harvest"}}]}}`
+	}
+	for _, ok := range []string{"1"} {
+		if _, err := ParseManifest([]byte(withVersion(ok))); err != nil {
+			t.Fatalf("version %s rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"2", "99", "-1"} {
+		_, err := ParseManifest([]byte(withVersion(bad)))
+		if err == nil {
+			t.Fatalf("version %s accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "version "+bad) || !strings.Contains(err.Error(), "1") {
+			t.Fatalf("version error does not name the versions: %v", err)
+		}
+	}
+	// The version survives a round trip.
+	m, err := ParseManifest([]byte(withVersion("1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version":1`) {
+		t.Fatalf("version lost in marshal: %s", data)
+	}
+}
+
+// TestManifestParamDrift is the strict-parse migration test: a stored
+// manifest whose params no longer decode against the registered kind
+// (here simulated by a field the kind never had) must fail naming the
+// kind, the offending field, and the migration path.
+func TestManifestParamDrift(t *testing.T) {
+	t.Parallel()
+	const drifted = `{"nodes": 4, "duration": "10s", "kinds": ["harvest"],
+		"campaign": {"name": "x", "targets": [{"candidate": {
+			"kind": "harvest", "params": {"Config": {"BurstBudget": 2}}}}]}}`
+	_, err := ParseManifest([]byte(drifted))
+	if err == nil {
+		t.Fatal("drifted params accepted")
+	}
+	for _, want := range []string{"harvest", "BurstBudget", "migrate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("drift error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestManifestShards checks the shards field: negative rejected,
+// positive carried into the fleet config, and the example manifest
+// rolled out under 4 shards is still caught at the canary — with one
+// converted node per shard.
+func TestManifestShards(t *testing.T) {
+	t.Parallel()
+	if _, err := ParseManifest([]byte(`{"nodes": 4, "duration": "10s", "shards": -1}`)); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+	m, err := LoadManifest(exampleManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Shards = 4
+	cfg, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fleet.Shards != 4 {
+		t.Fatalf("fleet shards = %d, want 4", cfg.Fleet.Shards)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RolledBack || rep.FailureWave != 1 {
+		t.Fatalf("sharded manifest campaign not rolled back at the canary:\n%s", rep)
+	}
+	if rep.MaxConverted != 4 {
+		t.Fatalf("blast radius = %d nodes, want 4 (one canary per shard)", rep.MaxConverted)
+	}
+	if rep.Shards != 4 || !strings.Contains(rep.String(), "4 shards") {
+		t.Fatalf("report does not carry the shard count:\n%s", rep)
+	}
+}
+
+// TestManifestPlan is the -plan dry run: the resolved node-0 delta
+// between baseline and candidate for every target, produced without
+// building a fleet, naming exactly the knobs the campaign changes.
+func TestManifestPlan(t *testing.T) {
+	t.Parallel()
+	m, err := LoadManifest(exampleManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bad harvester drops the 2-core fleet safety buffer and
+	// flattens the 8:1 under-prediction cost; the overclock candidate
+	// only raises the explore rate.
+	for _, want := range []string{
+		`campaign "no-buffer-harvester+hot-explore"`,
+		"waves 1% -> 5% -> 25% -> 100%, soak 2 epochs of 5s",
+		"target harvest, variant no-buffer-harvester",
+		"Config.SafetyBuffer: 2 -> 0",
+		"Config.UnderCost: 8 -> 1",
+		"target overclock, variant hot-explore",
+		"Config.ExploreRate: 0.1 -> 0.2",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	// Knobs the overlay does not touch never appear as deltas: the
+	// per-node seeds and the fleet-coarsened schedule survive.
+	for _, reject := range []string{"Seed", "Schedule."} {
+		if strings.Contains(plan, reject) {
+			t.Fatalf("plan reports an untouched knob %q:\n%s", reject, plan)
+		}
+	}
+
+	// A campaign-less manifest has nothing to plan.
+	if _, err := (&Manifest{Nodes: 1, Duration: spec.Duration(time.Second)}).Plan(); err == nil {
+		t.Fatal("campaign-less plan accepted")
+	}
+
+	// A plan must refuse what a run would refuse: a target kind the
+	// manifest's co-location never launches.
+	m.Kinds = []string{"overclock"}
+	if _, err := m.Plan(); err == nil || !strings.Contains(err.Error(), `"harvest"`) {
+		t.Fatalf("plan green-lit a kind the fleet never runs: %v", err)
 	}
 }

@@ -49,6 +49,11 @@ type WaveEvent struct {
 type Report struct {
 	Nodes    int
 	Interval time.Duration
+	// Shards is the coordination partition count of a sharded run; 0
+	// for the classic single-barrier engine. A one-shard sharded run
+	// renders identically to the classic engine — the two differ only
+	// in coordination structure, never in outcome.
+	Shards int
 
 	// Campaign fields; Campaign is empty for a plain lockstep run.
 	Campaign string
@@ -82,8 +87,12 @@ type Report struct {
 // byte-identical strings.
 func (r *Report) String() string {
 	var b strings.Builder
+	shardLabel := ""
+	if r.Shards > 1 {
+		shardLabel = fmt.Sprintf(", %d shards", r.Shards)
+	}
 	if r.Campaign == "" {
-		fmt.Fprintf(&b, "controlplane: %d nodes, no campaign, %v epochs\n", r.Nodes, r.Interval)
+		fmt.Fprintf(&b, "controlplane: %d nodes, no campaign, %v epochs%s\n", r.Nodes, r.Interval, shardLabel)
 		b.WriteString(r.Fleet.String())
 		return b.String()
 	}
@@ -91,8 +100,8 @@ func (r *Report) String() string {
 	if len(r.Kinds) > 1 {
 		kindLabel = "kinds"
 	}
-	fmt.Fprintf(&b, "campaign %q on %s %s: %d nodes, %d waves, %v epochs\n",
-		r.Campaign, kindLabel, strings.Join(r.Kinds, "+"), r.Nodes, len(r.Waves), r.Interval)
+	fmt.Fprintf(&b, "campaign %q on %s %s: %d nodes, %d waves, %v epochs%s\n",
+		r.Campaign, kindLabel, strings.Join(r.Kinds, "+"), r.Nodes, len(r.Waves), r.Interval, shardLabel)
 	fmt.Fprintf(&b, "%5s %9s %4s %-8s %6s  %s\n", "epoch", "t", "wave", "action", "cohort", "detail")
 	for _, ev := range r.Trace {
 		detail := ""

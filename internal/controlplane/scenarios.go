@@ -65,6 +65,10 @@ type ScenarioSpec struct {
 	Seed uint64
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// Shards selects the sharded campaign engine: 0 is the classic
+	// single-barrier coordinator, >= 1 partitions the fleet into that
+	// many independently advancing shards (see internal/shard).
+	Shards int
 }
 
 // NewScenario builds the ready-to-Run config for sc. The campaigns it
@@ -135,6 +139,7 @@ func NewScenario(sc ScenarioSpec) (Config, error) {
 			Nodes:    sc.Nodes,
 			Duration: sc.Duration,
 			Workers:  sc.Workers,
+			Shards:   sc.Shards,
 			Setup:    fleet.StandardNode(std),
 			Start:    fleet.DefaultStart,
 		},

@@ -1,0 +1,232 @@
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"sol/internal/fleet"
+	"sol/internal/shard"
+	"sol/internal/stats"
+)
+
+// shardSeed salts the campaign's cohort-shuffle seed per shard. Shard
+// 0 gets no salt, so a one-shard sharded campaign shuffles exactly
+// like the single-barrier engine — the property that makes S=1 runs
+// byte-identical to the classic path (tested). The odd multiplier is
+// the 64-bit golden ratio, the usual stream-splitting constant.
+func shardSeed(campaignSeed uint64, s int) uint64 {
+	return campaignSeed ^ 0xc0a1e5ce ^ (uint64(s) * 0x9e3779b97f4a7c15)
+}
+
+// shardCohort is one shard's slice of a cross-shard campaign: its own
+// deterministic node shuffle, conversion watermark, deadline
+// bookkeeping, and the shard-local cohort health of the last epoch.
+// During a span it is owned by the shard's goroutine; between spans
+// (fleet aligned) the conductor-side state machine reads and writes
+// it. Each shard canaries locally — every wave converts at least one
+// node per shard — so a candidate is exposed to every partition's
+// workload mix from the first wave.
+type shardCohort struct {
+	order     []int // shard's nodes, shuffled; order[:converted] is its cohort
+	converted int
+	prev      map[memberKey]uint64
+	scratch   []fleet.MemberHealth // reused by the per-epoch cohort poll
+	health    CohortHealth         // shard-local cohort health at the last epoch
+}
+
+// shardedCampaign executes a Campaign over a sharded fleet: cohorts
+// shuffle and convert per shard, soak observation is shard-local (only
+// converted nodes advance epoch by epoch; the rest of each shard
+// free-runs), and the fleet aligns only at gate boundaries, where one
+// shared gate judges the union of the shard healths and a failed gate
+// fans the rollback out shard by shard. The wave machine, verdict, and
+// trace are the shared campaignOutcome — the same state machine the
+// single-barrier engine runs.
+type shardedCampaign struct {
+	campaignOutcome
+	co      *fleet.Coordinator
+	targets []compiledTarget
+	kinds   map[string]bool
+	shards  []shardCohort
+}
+
+func newShardedCampaign(camp *Campaign, co *fleet.Coordinator) (*shardedCampaign, error) {
+	targets, err := camp.compile()
+	if err != nil {
+		return nil, err
+	}
+	kinds := make(map[string]bool, len(targets))
+	for _, tg := range targets {
+		kinds[tg.kind] = true
+	}
+	con := co.Conductor()
+	shards := make([]shardCohort, con.Shards())
+	for s := range shards {
+		lo, hi := con.Cells(s)
+		order := stats.NewRNG(shardSeed(camp.Seed, s)).Perm(hi - lo)
+		for i := range order {
+			order[i] += lo
+		}
+		shards[s] = shardCohort{order: order, prev: make(map[memberKey]uint64)}
+	}
+	return &shardedCampaign{
+		campaignOutcome: campaignOutcome{camp: camp},
+		co:              co,
+		targets:         targets,
+		kinds:           kinds,
+		shards:          shards,
+	}, nil
+}
+
+// stepped is the conductor's per-shard stepped-cell set: the shard's
+// converted cohort, which needs epoch-by-epoch observation while it
+// soaks. Unconverted nodes free-run to the next alignment.
+func (s *shardedCampaign) stepped(sh int) []int {
+	c := &s.shards[sh]
+	return c.order[:c.converted]
+}
+
+// onEpoch is the shard-local soak observer: at every shard epoch it
+// recomputes the shard's cohort health (keeping the per-agent deadline
+// deltas fresh) on the shard's own goroutine. Nothing fleet-wide is
+// touched — this is the "no global lock in steady state" half of the
+// design.
+func (s *shardedCampaign) onEpoch(sh, _ int, _, step time.Duration) {
+	c := &s.shards[sh]
+	c.health = cohortHealthOver(s.co, s.kinds, c.order[:c.converted], c.prev, step, &c.scratch)
+}
+
+// convertNextWave converts the next wave's slice in every shard and
+// advances the wave counter. Each shard converts the ceiling of the
+// wave fraction over its own node count (at least one node), in its
+// own shuffle order.
+func (s *shardedCampaign) convertNextWave(epoch int) error {
+	frac := s.camp.Waves[s.wave]
+	total := 0
+	for sh := range s.shards {
+		c := &s.shards[sh]
+		target := cohortSize(frac, len(c.order))
+		for i := c.converted; i < target; i++ {
+			if err := deployTargets(s.co, s.targets, c.prev, c.order[i], false); err != nil {
+				return err
+			}
+		}
+		c.converted = target
+		total += target
+	}
+	s.beginWave(epoch, s.co.Elapsed(), total)
+	return nil
+}
+
+// judge runs at a gate boundary with the fleet aligned: the shard
+// healths from the soak's final epoch are summed into the union cohort
+// health, the shared gate judges it, and the campaign advances,
+// completes, or rolls back — exactly the single-barrier state machine
+// (campaignOutcome), lifted onto per-shard evidence, with a failed
+// gate's rollback fanned out shard by shard.
+func (s *shardedCampaign) judge(epoch int) error {
+	var h CohortHealth
+	for sh := range s.shards {
+		h.add(s.shards[sh].health)
+	}
+	at := s.co.Elapsed()
+	res := s.camp.Gate.Check(h)
+	if !res.OK {
+		s.failWave(epoch, at, h, res)
+		for sh := range s.shards {
+			c := &s.shards[sh]
+			for i := 0; i < c.converted; i++ {
+				if err := deployTargets(s.co, s.targets, c.prev, c.order[i], true); err != nil {
+					return err
+				}
+			}
+			c.converted = 0
+		}
+		s.finishRollback(epoch, at, res)
+		return nil
+	}
+	if s.passWave(epoch, at, h) {
+		return nil
+	}
+	return s.convertNextWave(epoch)
+}
+
+// runSharded executes one control-plane run on the sharded conductor.
+// The schedule is span-based: while a wave soaks, each shard steps its
+// converted nodes at cfg.Interval (shard-local observation) and
+// free-runs the rest; the fleet aligns only at gate boundaries — every
+// SoakEpochs epochs while the campaign is live — and once the campaign
+// completes or rolls back, everything free-runs to the horizon in a
+// single span. The epoch grid (including the final truncated epoch)
+// matches the single-barrier Drive exactly, so a one-shard run
+// reproduces the classic engine's trace byte for byte.
+func runSharded(cfg Config) (*Report, error) {
+	co, err := fleet.NewCoordinator(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	defer co.StopAll()
+
+	horizon, interval := cfg.Fleet.Duration, cfg.Interval
+	rep := &Report{
+		Nodes:    cfg.Fleet.Nodes,
+		Interval: interval,
+		Shards:   co.Shards(),
+	}
+	if cfg.Campaign == nil {
+		co.StepFor(horizon)
+		rep.Fleet = co.Report()
+		return rep, nil
+	}
+
+	st, err := newShardedCampaign(cfg.Campaign, co)
+	if err != nil {
+		return nil, err
+	}
+	for _, tg := range st.targets {
+		if !kindPresent(co, tg.kind) {
+			return nil, fmt.Errorf("controlplane: campaign %q targets kind %q, but no node runs it",
+				cfg.Campaign.Name, tg.kind)
+		}
+	}
+	// The canary converts in every shard at the virtual start instant,
+	// before any time passes: epoch 0 in the trace.
+	if err := st.convertNextWave(0); err != nil {
+		return nil, err
+	}
+
+	K := shard.Epochs(horizon, interval)
+	for epoch := 0; epoch < K && !st.done; {
+		gate := epoch + st.camp.SoakEpochs
+		judge := gate <= K
+		if !judge {
+			// The horizon ends mid-soak: run the remaining epochs
+			// (keeping observation fresh, as the classic engine does)
+			// but there is no boundary left to judge at.
+			gate = K
+		}
+		err := co.Span(shard.Span{
+			Until:    shard.EpochTime(gate, horizon, interval),
+			Interval: interval,
+			Stepped:  st.stepped,
+			OnEpoch:  st.onEpoch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		epoch = gate
+		if judge {
+			if err := st.judge(epoch); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Campaign settled (or horizon mid-campaign): free-run the rest.
+	if remaining := horizon - co.Elapsed(); remaining > 0 {
+		co.StepFor(remaining)
+	}
+
+	st.fill(rep)
+	rep.Fleet = co.Report()
+	return rep, nil
+}

@@ -1,0 +1,169 @@
+package controlplane
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardedScenario builds a small scenario config with the given shard
+// count (0 = classic single-barrier engine).
+func shardedScenario(t *testing.T, scenario string, shards, workers int) Config {
+	t.Helper()
+	cfg, err := NewScenario(ScenarioSpec{
+		Scenario: scenario,
+		Nodes:    12,
+		Duration: 50 * time.Second,
+		Interval: 5 * time.Second,
+		Kinds:    []string{"harvest"},
+		Seed:     3,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fleet.Shards = shards
+	return cfg
+}
+
+// TestShardedOneShardMatchesLegacy is the compatibility contract of
+// the sharded engine: with a single shard it must reproduce the
+// classic single-barrier engine's run byte for byte — same wave trace,
+// same verdict, same final fleet report — for every built-in scenario.
+// The two engines then differ only in coordination structure, which
+// is what licenses `-shards` as a pure scaling knob.
+func TestShardedOneShardMatchesLegacy(t *testing.T) {
+	t.Parallel()
+	for _, scenario := range Scenarios() {
+		legacy, err := Run(shardedScenario(t, scenario, 0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := Run(shardedScenario(t, scenario, 1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy.Shards != 0 || sharded.Shards != 1 {
+			t.Fatalf("%s: engine dispatch wrong: legacy Shards=%d, sharded Shards=%d",
+				scenario, legacy.Shards, sharded.Shards)
+		}
+		if !reflect.DeepEqual(legacy.Trace, sharded.Trace) {
+			t.Fatalf("%s: sharded trace diverged from legacy:\n%+v\nvs\n%+v",
+				scenario, legacy.Trace, sharded.Trace)
+		}
+		if !reflect.DeepEqual(legacy.Fleet, sharded.Fleet) {
+			t.Fatalf("%s: sharded fleet report diverged from legacy:\n%v\nvs\n%v",
+				scenario, legacy.Fleet, sharded.Fleet)
+		}
+		if legacy.String() != sharded.String() {
+			t.Fatalf("%s: rendered reports differ:\n%s\nvs\n%s", scenario, legacy, sharded)
+		}
+	}
+}
+
+// TestShardedMidCampaignHorizon pins the truncated-epoch edge: a
+// horizon that ends mid-soak must leave the sharded campaign
+// unresolved exactly like the legacy engine (neither completed nor
+// rolled back), with identical traces.
+func TestShardedMidCampaignHorizon(t *testing.T) {
+	t.Parallel()
+	mk := func(shards int) Config {
+		cfg := shardedScenario(t, ScenarioHealthy, shards, 0)
+		// 4 waves x 2 soak epochs need 8 epochs; 12.5s gives 3 (the
+		// last truncated), so the run ends mid-campaign.
+		cfg.Fleet.Duration = 12500 * time.Millisecond
+		return cfg
+	}
+	legacy, err := Run(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Run(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Completed || legacy.RolledBack {
+		t.Fatalf("legacy run unexpectedly settled: %+v", legacy)
+	}
+	if legacy.String() != sharded.String() {
+		t.Fatalf("mid-campaign reports differ:\n%s\nvs\n%s", legacy, sharded)
+	}
+	if !reflect.DeepEqual(legacy.Trace, sharded.Trace) {
+		t.Fatalf("mid-campaign traces differ:\n%+v\nvs\n%+v", legacy.Trace, sharded.Trace)
+	}
+}
+
+// TestShardedDeterminism pins the sharded engine's determinism
+// contract: for a fixed shard count, runs are byte-identical across
+// repeats and worker widths.
+func TestShardedDeterminism(t *testing.T) {
+	t.Parallel()
+	want, err := Run(shardedScenario(t, ScenarioBadVariant, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.RolledBack {
+		t.Fatalf("bad-variant sharded run did not roll back:\n%s", want)
+	}
+	for _, workers := range []int{1, 2, 5} {
+		got, err := Run(shardedScenario(t, ScenarioBadVariant, 4, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("workers=%d: sharded run diverged:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestShardedPerShardCanary checks the per-shard cohort rule: every
+// wave converts at least one node in every shard, so the canary wave
+// of an S-shard fleet has blast radius S (one node per partition), and
+// a rolled-back campaign reports exactly that as MaxConverted.
+func TestShardedPerShardCanary(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(shardedScenario(t, ScenarioBadVariant, 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RolledBack || rep.FailureWave != 1 {
+		t.Fatalf("bad variant not caught at the canary wave:\n%s", rep)
+	}
+	if rep.MaxConverted != 4 {
+		t.Fatalf("canary blast radius = %d nodes, want 4 (one per shard)", rep.MaxConverted)
+	}
+	if rep.Converted != 0 {
+		t.Fatalf("converted after rollback = %d, want 0", rep.Converted)
+	}
+	if !strings.Contains(rep.String(), "4 shards") {
+		t.Fatalf("report does not name the shard count:\n%s", rep)
+	}
+}
+
+// TestShardedNoCampaign checks a campaign-less sharded run: one
+// free-running span to the horizon, with a fleet report identical to
+// the classic engine's.
+func TestShardedNoCampaign(t *testing.T) {
+	t.Parallel()
+	mk := func(shards int) Config {
+		cfg := shardedScenario(t, ScenarioHealthy, shards, 0)
+		cfg.Fleet.Duration = 10 * time.Second
+		cfg.Campaign = nil
+		return cfg
+	}
+	legacy, err := Run(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		sharded, err := Run(mk(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy.Fleet, sharded.Fleet) {
+			t.Fatalf("shards=%d: no-campaign fleet report diverged:\n%v\nvs\n%v",
+				shards, legacy.Fleet, sharded.Fleet)
+		}
+	}
+}

@@ -5,12 +5,12 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"sol/internal/clock"
 	"sol/internal/core"
+	"sol/internal/shard"
 )
 
 // NodeFunc builds one node of the fleet: it constructs the node's
@@ -32,6 +32,12 @@ type Config struct {
 	Setup NodeFunc
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// Shards partitions the fleet for the lockstep Coordinator: each
+	// shard gets its own barrier and worker allotment and advances
+	// independently between conductor alignments. 0 means 1 (the
+	// classic single-partition coordinator); the batch Run driver
+	// streams nodes and ignores it. See internal/shard.
+	Shards int
 	// Start is the virtual start time; the zero value means the
 	// repository-wide 2022-01-01 epoch.
 	Start time.Time
@@ -47,6 +53,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("fleet: no Setup function")
 	case c.Workers < 0:
 		return fmt.Errorf("fleet: Workers = %d, must be >= 0", c.Workers)
+	case c.Shards < 0:
+		return fmt.Errorf("fleet: Shards = %d, must be >= 0", c.Shards)
 	}
 	return nil
 }
@@ -75,36 +83,12 @@ func (c Config) start() time.Time {
 	return c.Start
 }
 
-// forEach runs fn(idx) for every idx in [0, n) on a pool of workers
-// goroutines and waits for all to finish. The channel handoff and
-// WaitGroup supply the happens-before edges that let lock-elided
-// single-driver node clocks migrate between worker goroutines across
-// calls. Both fleet drivers (batch Run and the lockstep Coordinator)
-// schedule through here.
-func forEach(n, workers int, fn func(idx int)) {
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				fn(idx)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-}
+// forEach is shard.ForEach: the shared worker-pool primitive both
+// fleet drivers (batch Run and the sharded lockstep Coordinator)
+// schedule through. Its channel handoff and WaitGroup supply the
+// happens-before edges that let lock-elided single-driver node clocks
+// migrate between worker goroutines across calls.
+func forEach(n, workers int, fn func(idx int)) { shard.ForEach(n, workers, fn) }
 
 // KindStats aggregates one agent kind across the fleet.
 type KindStats struct {

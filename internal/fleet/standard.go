@@ -130,6 +130,20 @@ func (cfg StandardNodeConfig) baseParams(idx int) func(kind string) any {
 	}
 }
 
+// BaselineEnv returns the node environment agent-spec resolution sees
+// on node idx — the seed root and per-kind baseline variants — without
+// building any substrate. It resolves params (campaign planning,
+// dry-run diffs) but cannot launch agents: the clock, node, and
+// substrate handles are absent.
+func (cfg StandardNodeConfig) BaselineEnv(idx int) spec.NodeEnv {
+	return spec.NodeEnv{
+		NodeIndex: idx,
+		Seed:      cfg.nodeSeed(idx),
+		Options:   cfg.Options,
+		Base:      cfg.baseParams(idx),
+	}
+}
+
 // LaunchOverclock adapts a SmartOverclock variant to a supervisor
 // LaunchFunc, for Launch and Replace.
 func LaunchOverclock(v overclock.Variant, opts core.Options) LaunchFunc {

@@ -5,26 +5,36 @@ import (
 	"time"
 
 	"sol/internal/clock"
+	"sol/internal/shard"
 )
 
-// Coordinator drives a fleet in lockstep epochs: every node's virtual
-// clock advances together to the same barrier, and between barriers
-// the whole fleet is quiescent — no callbacks in flight anywhere — so
-// a controller may observe aggregated health and redeploy members
-// (Supervisor.Replace) without racing the simulation. This is the
-// mid-horizon observation and control the batch driver (Run) cannot
-// provide, and it is what the rollout control plane is built on.
+// Coordinator drives a fleet in lockstep epochs on top of the sharded
+// conductor (internal/shard): the fleet is partitioned into
+// Config.Shards shards, each with its own barrier and worker
+// allotment, and the conductor aligns them at span boundaries. At an
+// alignment the whole fleet is quiescent — no callbacks in flight
+// anywhere — so a controller may observe aggregated health and
+// redeploy members (Supervisor.Replace) without racing the simulation.
+// This is the mid-horizon observation and control the batch driver
+// (Run) cannot provide, and it is what the rollout control plane is
+// built on.
 //
-// Within an epoch, nodes still simulate in parallel on the worker
-// pool; the barrier handoff supplies the happens-before edges that let
-// each node's single-driver clock migrate between worker goroutines
-// across epochs. The result is exactly as deterministic as Run: the
-// same config stepped to the same total horizon yields a byte-
-// identical report, whatever the worker count or epoch length.
+// With one shard (the default) StepFor/Drive behave exactly as the
+// classic single-barrier coordinator: every node advances to every
+// barrier. With more shards, StepFor is still a fleet-wide barrier
+// (one single-epoch span), while Span exposes the conductor's real
+// power: only the cells that need mid-span observation advance epoch
+// by epoch, everything else free-runs to the next alignment.
+//
+// The result is exactly as deterministic as Run: the same config
+// driven to the same total horizon yields a byte-identical report,
+// whatever the worker count, epoch length, shard count, or stepping
+// pattern — per-node simulations are independent, so how their time is
+// sliced is unobservable in the aggregate.
 type Coordinator struct {
 	cfg     Config
 	nodes   []steppedNode
-	elapsed time.Duration
+	con     *shard.Conductor
 	stopped bool
 }
 
@@ -34,10 +44,11 @@ type steppedNode struct {
 }
 
 // NewCoordinator builds every node of the fleet (in parallel on the
-// worker pool) at the virtual start instant, without advancing time.
-// cfg.Duration is the default horizon RunStepped drives; Coordinator
-// itself steps freely. The first setup error stops the already-built
-// nodes and is returned.
+// worker pool) at the virtual start instant, without advancing time,
+// and partitions it into cfg.Shards shards (0 means 1). cfg.Duration
+// is the default horizon RunStepped drives; Coordinator itself steps
+// freely. The first setup error stops the already-built nodes and is
+// returned.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -62,11 +73,22 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("fleet: node %d: %w", idx, err)
 		}
 	}
+	con, err := shard.New(shard.Config{
+		Cells:   cfg.Nodes,
+		Shards:  cfg.Shards,
+		Workers: cfg.Workers,
+		Advance: func(cell int, d time.Duration) { c.nodes[cell].clk.RunFor(d) },
+	})
+	if err != nil {
+		c.StopAll()
+		return nil, err
+	}
+	c.con = con
 	return c, nil
 }
 
 // forEachNode runs fn(idx) for every node index on the shared worker
-// pool and waits for all to finish — the lockstep barrier.
+// pool and waits for all to finish — a fleet-wide barrier.
 func (c *Coordinator) forEachNode(fn func(idx int)) {
 	forEach(len(c.nodes), c.cfg.workers(), fn)
 }
@@ -74,12 +96,25 @@ func (c *Coordinator) forEachNode(fn func(idx int)) {
 // Nodes returns the fleet size.
 func (c *Coordinator) Nodes() int { return len(c.nodes) }
 
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return c.con.Shards() }
+
+// Conductor returns the sharded conductor driving this fleet, for
+// callers (the control plane, benchmarks) that schedule their own
+// spans. The conductor's cells are node indexes and its Advance is
+// already bound to the node clocks; only drive it between Coordinator
+// calls, never after StopAll.
+func (c *Coordinator) Conductor() *shard.Conductor { return c.con }
+
 // Supervisor returns node idx's supervisor, for mid-run observation
-// and member redeployment. Only call between StepFor barriers.
+// and member redeployment. Only call with the fleet quiescent (between
+// spans); during a span, a shard's OnEpoch observer may call it for
+// that shard's stepped nodes only.
 func (c *Coordinator) Supervisor(idx int) *Supervisor { return c.nodes[idx].sup }
 
-// Elapsed returns the total virtual time stepped so far.
-func (c *Coordinator) Elapsed() time.Duration { return c.elapsed }
+// Elapsed returns the total virtual time the aligned fleet has
+// stepped so far.
+func (c *Coordinator) Elapsed() time.Duration { return c.con.Aligned() }
 
 // Events returns the total virtual-clock callbacks fired fleet-wide.
 func (c *Coordinator) Events() uint64 {
@@ -90,31 +125,41 @@ func (c *Coordinator) Events() uint64 {
 	return n
 }
 
-// StepFor advances every node's clock by d in lockstep and returns
-// once the whole fleet has reached the new barrier.
+// StepFor advances every node's clock by d and returns once the whole
+// fleet has reached the new barrier — a single free-running span, so
+// each shard visits each of its nodes exactly once.
 func (c *Coordinator) StepFor(d time.Duration) {
 	if d <= 0 || c.stopped {
 		return
 	}
-	c.forEachNode(func(idx int) {
-		c.nodes[idx].clk.RunFor(d)
-	})
-	c.elapsed += d
+	// The span cannot fail: it moves forward and has no stepping.
+	_ = c.con.Run(shard.Span{Until: c.con.Aligned() + d})
+}
+
+// Span runs one conductor span over the fleet (see shard.Span): cells
+// listed by sp.Stepped advance epoch by epoch with sp.OnEpoch fired at
+// each shard-local barrier, everything else free-runs to sp.Until. It
+// is a no-op on a stopped coordinator.
+func (c *Coordinator) Span(sp shard.Span) error {
+	if c.stopped {
+		return nil
+	}
+	return c.con.Run(sp)
 }
 
 // Drive advances the fleet from the current barrier to horizon in
-// lockstep epochs of interval, truncating the final epoch so the
-// elapsed time lands exactly on the horizon — the rule that makes a
-// stepped run's report byte-identical to a batch Run of the same
-// config. observe, if non-nil, runs after every epoch with the fleet
-// quiescent; its error aborts the drive and is returned.
+// fleet-wide lockstep epochs of interval, truncating the final epoch
+// so the elapsed time lands exactly on the horizon — the rule that
+// makes a stepped run's report byte-identical to a batch Run of the
+// same config. observe, if non-nil, runs after every epoch with the
+// fleet quiescent; its error aborts the drive and is returned.
 func (c *Coordinator) Drive(horizon, interval time.Duration, observe func(epoch int, step time.Duration) error) error {
 	if interval <= 0 {
 		return fmt.Errorf("fleet: stepped interval = %v, must be positive", interval)
 	}
-	for epoch := 1; c.elapsed < horizon; epoch++ {
+	for epoch := 1; c.Elapsed() < horizon; epoch++ {
 		step := interval
-		if remaining := horizon - c.elapsed; step > remaining {
+		if remaining := horizon - c.Elapsed(); step > remaining {
 			step = remaining
 		}
 		c.StepFor(step)
@@ -134,7 +179,7 @@ func (c *Coordinator) Report() *Report {
 	c.forEachNode(func(idx int) {
 		statuses[idx] = c.nodes[idx].sup.Status()
 	})
-	return aggregate(len(c.nodes), c.elapsed, c.cfg.start(), c.Events(), statuses)
+	return aggregate(len(c.nodes), c.Elapsed(), c.cfg.start(), c.Events(), statuses)
 }
 
 // StopAll stops every node's supervisor (running each Actuator's

@@ -301,17 +301,32 @@ type MemberHealth struct {
 
 // HealthDetail snapshots every member's health, in attach order.
 func (s *Supervisor) HealthDetail() []MemberHealth {
-	members := s.Members()
-	out := make([]MemberHealth, len(members))
-	for i, m := range members {
-		out[i] = MemberHealth{
+	return s.HealthDetailInto(nil)
+}
+
+// HealthDetailInto is HealthDetail reusing dst's backing array —
+// allocation-free once dst has grown to the member count, which is
+// what lets a control plane poll cohort health every fine-grained
+// epoch across a 10k-node fleet without feeding the GC (a single GC
+// mark of a gigabyte-scale fleet heap costs more than the whole
+// epoch). Unlike Status, it queries the runtimes while holding the
+// member-table lock: runtimes never call back into their supervisor,
+// so no lock cycle exists, and each Health call is itself a single
+// cheap snapshot.
+func (s *Supervisor) HealthDetailInto(dst []MemberHealth) []MemberHealth {
+	dst = dst[:0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.members {
+		m := &s.members[i]
+		dst = append(dst, MemberHealth{
 			Kind:              m.Kind,
 			Name:              m.Name,
 			MaxActuationDelay: m.MaxActuationDelay,
 			Health:            m.Handle.Health(),
-		}
+		})
 	}
-	return out
+	return dst
 }
 
 // Replace redeploys the member named name: the running agent is

@@ -215,7 +215,12 @@ func (r Resolved) params(env NodeEnv) (any, error) {
 		dec := json.NewDecoder(bytes.NewReader(r.spec.Params))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(p); err != nil {
-			return nil, fmt.Errorf("spec: %s params: %w", r.spec.Kind, err)
+			// Stored manifests outlive agent-config changes; when the
+			// overlay stops decoding, name the kind and the offending
+			// field and point at the migration path instead of leaving
+			// a bare json error.
+			return nil, fmt.Errorf("spec: %s params do not decode against the registered kind: %w (the %s params may have changed since this spec was stored — compare the manifest against the kind's current variant fields and migrate it)",
+				r.spec.Kind, err, r.spec.Kind)
 		}
 	}
 	var sched *core.Schedule

@@ -5,11 +5,11 @@
 # numbers here so regressions are diffable across machines and PRs
 # (pair with benchstat for significance testing).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR4.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR5.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR4.json}
+out=${1:-BENCH_PR5.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -24,6 +24,16 @@ go test -run '^$' -benchmem \
 # run short; each iteration is already a multi-node simulation.
 go test -run '^$' -benchmem -benchtime=3x \
   -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$|BenchmarkFleetStepped64$|BenchmarkRollout32$|BenchmarkRolloutManifest32$' \
+  . | tee -a "$tmp"
+# Sharded coordination: the single-barrier coordinator vs the sharded
+# conductor on the same 1k/4k-node canary-observation scenario at equal
+# worker budget (the Sharded/Stepped events/s ratio is the structural
+# speedup; the PR-5 acceptance bar is >= 1.5x at >= 1k nodes), the
+# 10k-node one-process feasibility sweep, and a sharded rollout
+# campaign at the control plane's coarse epochs (must stay within noise
+# of BenchmarkRollout32).
+go test -run '^$' -benchmem -benchtime=3x \
+  -bench 'BenchmarkFleet1kStepped$|BenchmarkFleet1kSharded$|BenchmarkFleet4kStepped$|BenchmarkFleet4kSharded$|BenchmarkFleet10kSharded$|BenchmarkRollout32Sharded$' \
   . | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '

@@ -32,6 +32,7 @@ import (
 
 	"sol/internal/clock"
 	"sol/internal/core"
+	"sol/internal/shard"
 	"sol/internal/spec"
 
 	// The built-in agent kinds register their spec builders on import,
@@ -88,6 +89,19 @@ type (
 	// KindBuilder constructs one registered agent kind from its typed
 	// spec params; agent packages implement it and RegisterKind it.
 	KindBuilder = spec.Builder
+
+	// ShardConfig partitions a cell-indexed simulation into
+	// independently advancing shards driven by a worker budget; the
+	// conductor aligns them only at span boundaries. This is the
+	// coordination primitive the 10k-node fleet simulator runs on,
+	// exposed for custom fleet-scale harnesses.
+	ShardConfig = shard.Config
+	// ShardConductor owns the shards of one simulation and runs spans.
+	ShardConductor = shard.Conductor
+	// ShardSpan is one aligned stretch of simulated time: stepped
+	// cells advance epoch by epoch under observation, the rest
+	// free-run to the next alignment.
+	ShardSpan = shard.Span
 )
 
 // Run starts an agent's Model and Actuator control loops on clk
@@ -130,3 +144,7 @@ func RegisteredKinds() []string { return spec.Kinds() }
 func LaunchSpec(a AgentSpec, env NodeEnv) (core.Handle, time.Duration, error) {
 	return spec.Launch(a, env)
 }
+
+// NewShardConductor partitions cfg's cells into shards and returns the
+// conductor that drives them (see ShardConfig and ShardSpan).
+func NewShardConductor(cfg ShardConfig) (*ShardConductor, error) { return shard.New(cfg) }
