@@ -1,0 +1,228 @@
+// Command sollint runs the sol static-analysis suite (see
+// internal/lint) over Go packages. It speaks two protocols:
+//
+// Standalone, for humans and CI:
+//
+//	go run ./cmd/sollint ./...
+//
+// loads the matched packages (tests included, disable with
+// -tests=false), applies every analyzer, prints findings as
+// file:line:col: [analyzer] message, and exits 1 if there were any.
+//
+// Vet tool, for go vet integration:
+//
+//	go build -o bin/sollint ./cmd/sollint
+//	go vet -vettool=$(pwd)/bin/sollint ./...
+//
+// in which the go command invokes the binary once per package with a
+// .cfg file describing sources and export data, per the x/tools
+// unitchecker protocol (-V=full version handshake, -flags probe,
+// exit 2 on findings).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"sol/internal/lint"
+	"sol/internal/lint/analysis"
+	"sol/internal/lint/load"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sollint: ")
+
+	// The go command probes vet tools before use: -V=full must print a
+	// "name version ..." line it hashes into the build cache key, and
+	// -flags must list the tool's flags as JSON (none to expose here).
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			fmt.Println("sollint version v1")
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	tests := flag.Bool("tests", true, "also lint _test.go files and external test packages")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitCheck(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args, *tests))
+}
+
+// finding is one diagnostic resolved to a printable position.
+type finding struct {
+	pos      token.Position
+	analyzer string
+	msg      string
+}
+
+// runSuite applies every analyzer to one type-checked package.
+func runSuite(fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info) []finding {
+	var out []finding
+	for _, a := range lint.Suite() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				out = append(out, finding{pos: fset.Position(d.Pos), analyzer: a.Name, msg: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			log.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	return out
+}
+
+// sortFindings orders findings by position then analyzer, so output is
+// stable however packages and analyzers interleave.
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+}
+
+// standalone expands patterns, lints every match, and prints findings.
+func standalone(patterns []string, tests bool) int {
+	l := load.New()
+	l.Tests = tests
+	pkgs, err := l.Patterns(patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var all []finding
+	for _, pkg := range pkgs {
+		all = append(all, runSuite(pkg.Fset, pkg.Files, pkg.Types, pkg.Info)...)
+	}
+	sortFindings(all)
+	for _, f := range all {
+		fmt.Printf("%s: [%s] %s\n", f.pos, f.analyzer, f.msg)
+	}
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the per-package JSON the go command hands a vet tool,
+// per the unitchecker protocol.
+type vetConfig struct {
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck lints one package described by a go vet .cfg file.
+func unitCheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("%s: %v", cfgPath, err)
+	}
+	// The go command requires the facts file to exist after the run;
+	// sollint's analyzers are intraprocedural, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	findings := runSuite(fset, files, tpkg, info)
+	sortFindings(findings)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.pos, f.analyzer, f.msg)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

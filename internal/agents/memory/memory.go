@@ -157,8 +157,11 @@ type Model struct {
 	ticks   int // tick index within the epoch
 
 	// audit state: regions scanned at max rate this epoch and the
-	// per-tick fractions they observed.
+	// per-tick fractions they observed. auditList holds the same
+	// regions in ascending order for iteration — the missed-fraction
+	// fold sums floats, so visit order must not come from a map.
 	auditSet   map[int]bool
+	auditList  []int
 	auditFracs map[int][]float64
 
 	rates     []float64 // latest per-region access-rate estimates
@@ -226,7 +229,9 @@ func (m *Model) pickAudit() {
 	m.auditSet = make(map[int]bool)
 	n := int(float64(len(m.regions)) * m.cfg.AuditFrac)
 	perm := m.rng.Perm(len(m.regions))
-	for _, r := range perm[:n] {
+	m.auditList = append(m.auditList[:0], perm[:n]...)
+	sort.Ints(m.auditList)
+	for _, r := range m.auditList {
 		m.auditSet[r] = true
 	}
 	m.auditFracs = make(map[int][]float64)
@@ -440,7 +445,7 @@ func perGroupFrac(fracs []float64, every int) float64 {
 // distinct page touches the model-recommended rates would have missed.
 func (m *Model) computeMissed() {
 	var atMax, atChosen float64
-	for r := range m.auditSet {
+	for _, r := range m.auditList {
 		fr := m.auditFracs[r]
 		if len(fr) == 0 {
 			continue

@@ -170,10 +170,18 @@ func (m *Model) CollectData() (Obs, error) {
 	return o, nil
 }
 
-// ValidateData implements core.Model: discard corrupted counts.
+// ValidateData implements core.Model: discard corrupted counts. With
+// several corrupt channels the reported offender is part of the run's
+// trace, so the scan visits channels in ascending order rather than
+// whatever order the map yields.
 func (m *Model) ValidateData(o Obs) error {
-	for ch, n := range o.Counts {
-		if n < 0 || n > 1e6 {
+	chans := make([]int, 0, len(o.Counts))
+	for ch := range o.Counts {
+		chans = append(chans, ch)
+	}
+	sort.Ints(chans)
+	for _, ch := range chans {
+		if n := o.Counts[ch]; n < 0 || n > 1e6 {
 			return fmt.Errorf("sampler: channel %d count %d out of range", ch, n)
 		}
 	}

@@ -24,9 +24,9 @@ import (
 // mutex entirely and must only be touched from the driving goroutine.
 type Virtual struct {
 	mu     sync.Mutex
-	single bool // lock-elided single-driver mode; see NewVirtualSingle
-	start  time.Time
-	now    int64 // ns since start
+	single bool      // lock-elided single-driver mode; see NewVirtualSingle
+	start  time.Time //sollint:allow clockhygiene the epoch anchor; everything else is int64 ns since it
+	now    int64     // ns since start
 	seq    uint64
 	heap   []*event
 	// fired counts callbacks executed, for diagnostics and tests.
@@ -76,6 +76,8 @@ func (v *Virtual) unlock() {
 }
 
 // toNS converts an absolute time to the clock's internal timebase.
+//
+//sollint:allow clockhygiene this IS the boundary conversion into int64 ns
 func (v *Virtual) toNS(t time.Time) int64 { return t.Sub(v.start).Nanoseconds() }
 
 // fromNS converts the internal timebase back to an absolute time.
@@ -128,6 +130,8 @@ func (v *Virtual) Tick(d time.Duration, f func()) *Timer {
 
 // arm queues e to fire d nanoseconds from now with a fresh sequence
 // number. Callers hold the lock.
+//
+//sollint:hotpath
 func (v *Virtual) arm(e *event, d int64) {
 	e.when = v.now + d
 	e.seq = v.seq
@@ -198,6 +202,8 @@ func (v *Virtual) Fired() uint64 {
 
 // Step executes the single earliest pending event, advancing the clock
 // to its timestamp. It reports whether an event was executed.
+//
+//sollint:hotpath
 func (v *Virtual) Step() bool {
 	v.lock()
 	if len(v.heap) == 0 {
@@ -227,6 +233,8 @@ func (v *Virtual) Step() bool {
 // rearm re-queues a fired ticker event one period after its scheduled
 // fire time — unless the callback stopped it or already re-armed it
 // via Reset. Callers hold the lock.
+//
+//sollint:hotpath
 func (v *Virtual) rearm(e *event) {
 	if e.stopped || e.index >= 0 {
 		return
@@ -314,6 +322,7 @@ func (v *Virtual) swap(i, j int) {
 	h[j].index = j
 }
 
+//sollint:hotpath
 func (v *Virtual) push(e *event) {
 	e.index = len(v.heap)
 	v.heap = append(v.heap, e)
@@ -321,6 +330,8 @@ func (v *Virtual) push(e *event) {
 }
 
 // pop removes and returns the earliest event.
+//
+//sollint:hotpath
 func (v *Virtual) pop() *event {
 	h := v.heap
 	last := len(h) - 1
@@ -339,6 +350,8 @@ func (v *Virtual) pop() *event {
 }
 
 // removeAt deletes the event at heap position i.
+//
+//sollint:hotpath
 func (v *Virtual) removeAt(i int) {
 	h := v.heap
 	last := len(h) - 1
@@ -356,12 +369,15 @@ func (v *Virtual) removeAt(i int) {
 }
 
 // fix restores heap order for a node whose key changed in place.
+//
+//sollint:hotpath
 func (v *Virtual) fix(i int) {
 	if !v.down(i) {
 		v.up(i)
 	}
 }
 
+//sollint:hotpath
 func (v *Virtual) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -374,6 +390,8 @@ func (v *Virtual) up(i int) {
 }
 
 // down sifts node i toward the leaves; it reports whether i moved.
+//
+//sollint:hotpath
 func (v *Virtual) down(i int) bool {
 	start := i
 	n := len(v.heap)

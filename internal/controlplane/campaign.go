@@ -321,6 +321,8 @@ func (s *campaignState) observe(epoch int, step time.Duration) error {
 // observation), and the gate judges the shard healths summed. scratch
 // is the caller's reusable member-health buffer, so per-epoch cohort
 // polling allocates nothing in steady state.
+//
+//sollint:hotpath
 func cohortHealthOver(co *fleet.Coordinator, kinds map[string]bool, nodes []int, prev map[memberKey]uint64, step time.Duration, scratch *[]fleet.MemberHealth) CohortHealth {
 	var h CohortHealth
 	for _, nodeIdx := range nodes {

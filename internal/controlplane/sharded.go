@@ -81,6 +81,8 @@ func newShardedCampaign(camp *Campaign, co *fleet.Coordinator) (*shardedCampaign
 // stepped is the conductor's per-shard stepped-cell set: the shard's
 // converted cohort, which needs epoch-by-epoch observation while it
 // soaks. Unconverted nodes free-run to the next alignment.
+//
+//sollint:hotpath
 func (s *shardedCampaign) stepped(sh int) []int {
 	c := &s.shards[sh]
 	return c.order[:c.converted]
@@ -91,6 +93,8 @@ func (s *shardedCampaign) stepped(sh int) []int {
 // deltas fresh) on the shard's own goroutine. Nothing fleet-wide is
 // touched — this is the "no global lock in steady state" half of the
 // design.
+//
+//sollint:hotpath
 func (s *shardedCampaign) onEpoch(sh, _ int, _, step time.Duration) {
 	c := &s.shards[sh]
 	c.health = cohortHealthOver(s.co, s.kinds, c.order[:c.converted], c.prev, step, &c.scratch)

@@ -1,0 +1,71 @@
+package controlplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sol/internal/clock"
+	"sol/internal/fleet"
+)
+
+// TestShardedGateAlignmentRealClockRace mirrors the conductor's
+// real-clock race smoke one level up, at the campaign engine. Each
+// node's virtual clock carries a ticker that burns real wall time, so
+// shard workers are genuinely mid-flight on OS threads when the fleet
+// aligns at a gate boundary, and several campaigns run concurrently on
+// wide worker pools. Under -race (how CI runs the suite) this checks
+// the alignment's happens-before edges — shard goroutines write their
+// cohort health in onEpoch, the driver reads every shard's in judge —
+// and the paced wide run must still render byte-identical to the paced
+// single-worker run.
+func TestShardedGateAlignmentRealClockRace(t *testing.T) {
+	t.Parallel()
+	pace := func(cfg Config) Config {
+		// 20s = 4 epochs = 2 gate boundaries: the bad variant rolls back
+		// at the first, the healthy campaign converts waves at both. The
+		// full horizon adds nothing to the alignment being raced here
+		// and -race makes it expensive.
+		cfg.Fleet.Duration = 20 * time.Second
+		base := cfg.Fleet.Setup
+		half := cfg.Interval / 2
+		cfg.Fleet.Setup = func(idx int, clk *clock.Virtual) (*fleet.Supervisor, error) {
+			sup, err := base(idx, clk)
+			if err == nil {
+				clk.Tick(half, func() {
+					time.Sleep(20 * time.Microsecond) //sollint:allow walltime real wall-clock work widens the race window at gate alignment
+				})
+			}
+			return sup, err
+		}
+		return cfg
+	}
+	for _, scenario := range []string{ScenarioHealthy, ScenarioBadVariant} {
+		want, err := Run(pace(shardedScenario(t, scenario, 4, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const runs = 2
+		got := make([]*Report, runs)
+		errs := make([]error, runs)
+		var wg sync.WaitGroup
+		for i := 0; i < runs; i++ {
+			cfg := pace(shardedScenario(t, scenario, 4, 8))
+			wg.Add(1)
+			go func(i int, cfg Config) {
+				defer wg.Done()
+				got[i], errs[i] = Run(cfg)
+			}(i, cfg)
+		}
+		wg.Wait()
+		for i := 0; i < runs; i++ {
+			if errs[i] != nil {
+				t.Fatalf("%s run %d: %v", scenario, i, errs[i])
+			}
+			if got[i].String() != want.String() {
+				t.Fatalf("%s run %d diverged from the single-worker run:\n%s\nvs\n%s",
+					scenario, i, got[i], want)
+			}
+		}
+	}
+}

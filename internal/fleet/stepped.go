@@ -114,9 +114,13 @@ func (c *Coordinator) Supervisor(idx int) *Supervisor { return c.nodes[idx].sup 
 
 // Elapsed returns the total virtual time the aligned fleet has
 // stepped so far.
+//
+//sollint:hotpath
 func (c *Coordinator) Elapsed() time.Duration { return c.con.Aligned() }
 
 // Events returns the total virtual-clock callbacks fired fleet-wide.
+//
+//sollint:hotpath
 func (c *Coordinator) Events() uint64 {
 	var n uint64
 	for i := range c.nodes {
@@ -128,6 +132,8 @@ func (c *Coordinator) Events() uint64 {
 // StepFor advances every node's clock by d and returns once the whole
 // fleet has reached the new barrier — a single free-running span, so
 // each shard visits each of its nodes exactly once.
+//
+//sollint:hotpath
 func (c *Coordinator) StepFor(d time.Duration) {
 	if d <= 0 || c.stopped {
 		return

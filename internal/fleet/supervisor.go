@@ -313,6 +313,8 @@ func (s *Supervisor) HealthDetail() []MemberHealth {
 // member-table lock: runtimes never call back into their supervisor,
 // so no lock cycle exists, and each Health call is itself a single
 // cheap snapshot.
+//
+//sollint:hotpath
 func (s *Supervisor) HealthDetailInto(dst []MemberHealth) []MemberHealth {
 	dst = dst[:0]
 	s.mu.Lock()

@@ -339,7 +339,7 @@ func TestSupervisorRealClock(t *testing.T) {
 			}
 		}()
 	}
-	time.Sleep(150 * time.Millisecond)
+	time.Sleep(150 * time.Millisecond) //sollint:allow walltime real-clock race smoke paces itself on the wall clock
 	close(done)
 	wg.Wait()
 	sup.StopAll()

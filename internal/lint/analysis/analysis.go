@@ -1,0 +1,60 @@
+// Package analysis is a self-contained mirror of the
+// golang.org/x/tools/go/analysis API surface the sollint suite needs:
+// Analyzer, Pass, and Diagnostic, with the same field shapes and
+// semantics. The container this repository builds in has no module
+// proxy access, so x/tools cannot be a dependency; keeping the shapes
+// identical means every analyzer in internal/lint ports to the real
+// framework by changing one import line, and nothing else.
+//
+// Only the subset sollint uses is implemented: single-package passes
+// with full type information, no cross-package facts, no suggested
+// fixes. Analyzers that need facts (none of the determinism or
+// hot-path checks do — they are all intraprocedural) would be the
+// signal to vendor the real framework.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -<name>=false
+	// driver flags, and //sollint:allow comments. By convention it is
+	// a single lowercase word.
+	Name string
+	// Doc is the analyzer's documentation: first line is a one-line
+	// summary, the rest elaborates.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings
+	// through pass.Report and returns an optional result (unused by
+	// the sollint driver) and an error for operational failures —
+	// a finding is never an error.
+	Run func(*Pass) (any, error)
+}
+
+// Pass presents one package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver installs it; analyzers
+	// usually call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

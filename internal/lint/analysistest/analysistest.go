@@ -1,0 +1,143 @@
+// Package analysistest runs a sollint analyzer over a testdata source
+// tree and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the offline
+// internal/lint/analysis framework.
+//
+// A want comment names one or more regular expressions as Go string
+// literals; each must match the message of a distinct diagnostic
+// reported on that line:
+//
+//	now := time.Now() // want `time\.Now reads the wall clock`
+//
+// Every diagnostic must be consumed by a want and every want must
+// consume a diagnostic, so the same fixtures prove both that an
+// analyzer fires on a violation and that it stays silent on the
+// compliant form beside it.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sol/internal/lint/analysis"
+	"sol/internal/lint/load"
+)
+
+// loader is shared across all tests in the process so the source
+// importer type-checks each stdlib dependency once.
+var loader = load.New()
+
+// Run loads each package path from testdata/src and applies the
+// analyzer, reporting mismatches against the // want comments through
+// t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := loader.Dir(dir, path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		wants := collectWants(t, pkg)
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !consume(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// consume marks the first unmatched want on file:line whose pattern
+// matches msg.
+func consume(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// collectWants parses the package's // want comments.
+func collectWants(t *testing.T, pkg *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(strings.TrimSpace(c.Text))
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitLiterals(m[1])
+				if err != nil {
+					t.Fatalf("%s: malformed want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitLiterals parses a sequence of space-separated Go string
+// literals (quoted or backquoted).
+func splitLiterals(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		lit, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected a string literal at %q", s)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+		s = s[len(lit):]
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sol/internal/lint/analysis"
+)
+
+// Clockhygiene enforces the int64-nanosecond convention in the
+// packages that carry simulated time. Inside the clock engine, time is
+// a monotonic int64 offset: comparable with <, hashable, zero-valued
+// meaningfully, and free of time.Time's wall/monotonic dual reading
+// which differs between a live and a virtual run. A time.Time struct
+// field or internal parameter there reintroduces that ambiguity, so
+// both are flagged; the exported boundary functions that convert at
+// the edge carry //sollint:allow clockhygiene annotations explaining
+// themselves.
+var Clockhygiene = &analysis.Analyzer{
+	Name: "clockhygiene",
+	Doc:  "flag time.Time fields and internal parameters where the int64-ns convention applies",
+	Run:  runClockhygiene,
+}
+
+func runClockhygiene(pass *analysis.Pass) (any, error) {
+	if !inHygieneScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	report := parseDirectives(pass).reporter(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if fieldTypeIsTime(pass, field.Type) {
+						report(field.Pos(),
+							"time.Time struct field in a package on the int64-ns convention; store int64 nanoseconds, or annotate //sollint:allow clockhygiene <why>")
+					}
+				}
+			case *ast.FuncDecl:
+				// Exported functions are the conversion boundary; only
+				// unexported ones must already speak int64-ns.
+				if n.Name.IsExported() || n.Type.Params == nil {
+					return true
+				}
+				for _, field := range n.Type.Params.List {
+					if fieldTypeIsTime(pass, field.Type) {
+						report(field.Pos(),
+							"time.Time parameter on unexported %s; internal code on the int64-ns convention should pass int64 nanoseconds, or annotate //sollint:allow clockhygiene <why>",
+							n.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// fieldTypeIsTime reports whether the field's type is time.Time,
+// directly or behind ... / * / [] wrappers.
+func fieldTypeIsTime(pass *analysis.Pass, t ast.Expr) bool {
+	switch t := ast.Unparen(t).(type) {
+	case *ast.StarExpr:
+		return fieldTypeIsTime(pass, t.X)
+	case *ast.ArrayType:
+		return fieldTypeIsTime(pass, t.Elt)
+	case *ast.Ellipsis:
+		return fieldTypeIsTime(pass, t.Elt)
+	}
+	tv, ok := pass.TypesInfo.Types[t]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	typ := tv.Type
+	if _, isTP := typ.(*types.TypeParam); isTP {
+		return false
+	}
+	return isTimeTime(typ)
+}

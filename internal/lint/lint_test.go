@@ -1,0 +1,75 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sol/internal/lint"
+	"sol/internal/lint/analysis"
+	"sol/internal/lint/analysistest"
+	"sol/internal/lint/load"
+)
+
+func TestWalltime(t *testing.T) {
+	// simdemo proves the analyzer fires and that both allow forms
+	// (trailing and standalone) suppress; the testdata clock package
+	// proves the exempt boundary stays silent with no annotations.
+	analysistest.Run(t, "testdata", lint.Walltime,
+		"sol/internal/simdemo", "sol/internal/clock")
+}
+
+func TestSeedrand(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Seedrand, "sol/internal/randdemo")
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Maporder, "maporder/a")
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Hotalloc, "hotalloc/a")
+}
+
+func TestClockhygiene(t *testing.T) {
+	restore := lint.SetScope(lint.Scope{HygienePaths: []string{"hygienedemo"}})
+	defer restore()
+	analysistest.Run(t, "testdata", lint.Clockhygiene, "hygienedemo")
+}
+
+// TestDirectives drives the meta-analyzer directly: its findings sit
+// on comment lines, where // want expectations cannot.
+func TestDirectives(t *testing.T) {
+	pkg, err := load.New().Dir(filepath.Join("testdata", "src", "dirdemo"), "dirdemo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	pass := &analysis.Pass{
+		Analyzer:  lint.Directives,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			got = append(got, fmt.Sprintf("%d: %s", pkg.Fset.Position(d.Pos).Line, d.Message))
+		},
+	}
+	if _, err := lint.Directives.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"needs analyzer names and a justification",
+		"must precede a function declaration",
+		`unknown analyzer "wallclock"`,
+	}
+	if len(got) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(wantSubstrings), strings.Join(got, "\n"))
+	}
+	for i, sub := range wantSubstrings {
+		if !strings.Contains(got[i], sub) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, got[i], sub)
+		}
+	}
+}

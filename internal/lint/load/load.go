@@ -1,0 +1,174 @@
+// Package load type-checks Go packages for the sollint analyzers
+// without depending on golang.org/x/tools/go/packages (unavailable in
+// the offline build image). Package patterns are expanded by shelling
+// out to `go list -json`; target files are parsed with go/parser and
+// type-checked with go/types, resolving imports — standard library and
+// module-internal alike — through the compiler-independent source
+// importer, which caches every dependency for the life of a Loader.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked analysis unit: a package's source files
+// (plus its in-package test files) or, separately, its external
+// _test package.
+type Package struct {
+	// Path is the unit's import path. External test packages get the
+	// base path with a "_test" suffix; scope checks that care about the
+	// underlying package should compare against BasePath.
+	Path string
+	// BasePath is the import path of the package the unit belongs to
+	// (Path without the external-test suffix).
+	BasePath string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+}
+
+// Loader loads packages sharing one FileSet and one dependency-
+// typechecking importer, so repeated loads amortize the cost of
+// type-checking common dependencies from source.
+type Loader struct {
+	Fset *token.FileSet
+	// Tests controls whether *_test.go files are loaded alongside
+	// package sources (and external test packages as extra units).
+	Tests bool
+	imp   types.Importer
+}
+
+// New returns a Loader with a fresh FileSet that includes test files.
+func New() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:  fset,
+		Tests: true,
+		imp:   importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// Patterns expands the given go package patterns (e.g. "./...") and
+// loads every match. Each matched package yields one unit containing
+// its sources and in-package tests, plus a second unit for an external
+// _test package when one exists and Tests is set.
+func (l *Loader) Patterns(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := lp.GoFiles
+		if l.Tests {
+			files = append(files[:len(files):len(files)], lp.TestGoFiles...)
+		}
+		if len(files) > 0 {
+			p, err := l.files(lp.Dir, lp.ImportPath, lp.ImportPath, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+		if l.Tests && len(lp.XTestGoFiles) > 0 {
+			p, err := l.files(lp.Dir, lp.ImportPath+"_test", lp.ImportPath, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// Dir loads every .go file in dir as a single package unit with the
+// given import path — the entry point the analysistest harness uses
+// for testdata trees, which `go list` does not see.
+func (l *Loader) Dir(dir, path string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	names := make([]string, len(matches))
+	for i, m := range matches {
+		names[i] = filepath.Base(m)
+	}
+	return l.files(dir, path, path, names)
+}
+
+// files parses and type-checks one unit.
+func (l *Loader) files(dir, path, basePath string, names []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for i, e := range typeErrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("load %s: type errors:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	return &Package{Path: path, BasePath: basePath, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

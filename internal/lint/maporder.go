@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sol/internal/lint/analysis"
+)
+
+// Maporder flags `for ... range` over a map whose body makes the
+// iteration order observable — the classic silent determinism killer:
+// the program is correct on every run and no two runs agree. Four
+// body shapes are order-observable:
+//
+//   - appending to a slice declared outside the loop (unless the very
+//     next use of that slice is a sort.*/slices.Sort* call — the
+//     collect-then-sort idiom is the sanctioned fix and stays silent);
+//   - compound float accumulation (sum += x): float addition is not
+//     associative, so the total depends on visit order;
+//   - writing to a report or trace (fmt.* calls, Write/WriteString
+//     methods) inside the body;
+//   - calling a handler (a variable of function type) or returning a
+//     value derived from the loop variables — which element "wins"
+//     depends on the order.
+//
+// Keyed writes (m2[k] = v, counts[k] += n with integer types) are
+// order-independent and never flagged.
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body makes the nondeterministic order observable",
+	Run:  runMaporder,
+}
+
+// mapEffect is one order-observable operation in a range body.
+type mapEffect struct {
+	pos    token.Pos
+	what   string
+	target types.Object // non-nil for appends: the destination slice
+}
+
+func runMaporder(pass *analysis.Pass) (any, error) {
+	report := parseDirectives(pass).reporter(pass)
+	for _, f := range pass.Files {
+		following := followingStmts(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			effects := mapRangeEffects(pass, rs)
+			if len(effects) == 0 {
+				return true
+			}
+			for _, e := range effects {
+				if e.target != nil && sortedAfter(pass, e.target, following[rs]) {
+					continue
+				}
+				report(e.pos,
+					"%s inside range over map %s makes the iteration order observable; iterate sorted keys instead, or annotate //sollint:allow maporder <why>",
+					e.what, exprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// followingStmts maps every statement to the statements after it in
+// its enclosing statement list, for the collect-then-sort check.
+func followingStmts(f *ast.File) map[ast.Stmt][]ast.Stmt {
+	out := make(map[ast.Stmt][]ast.Stmt)
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		}
+		for i, s := range list {
+			if ls, ok := s.(*ast.LabeledStmt); ok {
+				out[ls.Stmt] = list[i+1:]
+			}
+			out[s] = list[i+1:]
+		}
+		return true
+	})
+	return out
+}
+
+// mapRangeEffects collects the order-observable operations in rs's
+// body.
+func mapRangeEffects(pass *analysis.Pass, rs *ast.RangeStmt) []mapEffect {
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	declaredOutside := func(e ast.Expr) (types.Object, bool) {
+		root := rootIdent(e)
+		if root == nil {
+			return nil, false
+		}
+		obj := pass.TypesInfo.Uses[root]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[root]
+		}
+		if obj == nil {
+			return nil, false
+		}
+		inside := rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+		return obj, !inside
+	}
+
+	var effects []mapEffect
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				} else if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				if i >= len(n.Lhs) {
+					continue
+				}
+				if obj, outside := declaredOutside(n.Lhs[i]); outside {
+					effects = append(effects, mapEffect{pos: call.Pos(), what: "append to " + obj.Name(), target: obj})
+				}
+			}
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := n.Lhs[0]
+				if t, ok := pass.TypesInfo.Types[lhs]; ok {
+					if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+						if obj, outside := declaredOutside(lhs); outside {
+							// A float write keyed by the loop variable
+							// (rates[k] += x) lands in a fixed slot per
+							// key; it is the keyed index that makes it
+							// order-free, so only unkeyed accumulators
+							// are flagged.
+							if !keyedByLoopVar(pass, lhs, loopVars) {
+								effects = append(effects, mapEffect{pos: n.Pos(), what: "float accumulation into " + obj.Name()})
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn, path := pkgFunc(pass, n); fn != nil && path == "fmt" {
+				effects = append(effects, mapEffect{pos: n.Pos(), what: "fmt." + fn.Name() + " call"})
+				return true
+			}
+			if fn, ok := calleeObj(pass, n).(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+				switch fn.Name() {
+				case "Write", "WriteString", "WriteByte", "WriteRune":
+					effects = append(effects, mapEffect{pos: n.Pos(), what: fn.Name() + " call"})
+					return true
+				}
+			}
+			if v, ok := calleeObj(pass, n).(*types.Var); ok {
+				if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+					if _, outside := declaredOutside(ast.Unparen(n.Fun)); outside {
+						effects = append(effects, mapEffect{pos: n.Pos(), what: "call of handler " + v.Name()})
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesObject(pass, res, loopVars) {
+					effects = append(effects, mapEffect{pos: n.Pos(), what: "return of a loop-variable-derived value"})
+					break
+				}
+			}
+		}
+		return true
+	})
+	return effects
+}
+
+// keyedByLoopVar reports whether lhs is an index expression whose
+// index is one of the loop variables — a per-key slot, not an
+// order-sensitive accumulator.
+func keyedByLoopVar(pass *analysis.Pass, lhs ast.Expr, loopVars map[types.Object]bool) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	return usesObject(pass, ix.Index, loopVars)
+}
+
+// sortedAfter reports whether the first statement after the loop that
+// touches obj is a sort.*/slices.Sort* call on it — the
+// collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, obj types.Object, after []ast.Stmt) bool {
+	objs := map[types.Object]bool{obj: true}
+	for _, st := range after {
+		if !usesObject(pass, st, objs) {
+			continue
+		}
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, path := pkgFunc(pass, call)
+		if fn == nil || (path != "sort" && path != "slices") {
+			return false
+		}
+		for _, arg := range call.Args {
+			if usesObject(pass, arg, objs) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// exprString renders a short source-ish form of e for messages.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

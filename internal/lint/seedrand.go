@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+
+	"sol/internal/lint/analysis"
+)
+
+// Seedrand forbids the process-global math/rand generator and
+// wall-seeded sources in packages that feed campaign traces. Every
+// random draw in a simulation must derive from the experiment or
+// campaign seed (sol/internal/stats.RNG and its Split streams) so that
+// two runs with the same manifest shuffle the same cohorts; the global
+// generator is shared mutable state seeded who-knows-where, and
+// rand.NewSource(time.Now().UnixNano()) is nondeterminism by
+// construction. Methods on an explicitly constructed *rand.Rand are
+// not flagged — owning the generator is the point — only how it is
+// seeded.
+var Seedrand = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc:  "forbid global math/rand functions and wall-seeded sources in simulation packages",
+	Run:  runSeedrand,
+}
+
+// seedrandConstructors are the math/rand (v1 and v2) entry points that
+// build a generator or source; they are fine when seeded
+// deterministically, so only wall-derived seed expressions are
+// flagged.
+var seedrandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runSeedrand(pass *analysis.Pass) (any, error) {
+	if !inSimScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	report := parseDirectives(pass).reporter(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, path := pkgFunc(pass, call)
+			if fn == nil || (path != "math/rand" && path != "math/rand/v2") {
+				return true
+			}
+			if seedrandConstructors[fn.Name()] {
+				for _, arg := range call.Args {
+					if containsWallSeed(pass, arg) {
+						report(call.Pos(),
+							"rand.%s is seeded from the wall clock; derive the seed from the campaign seed (see sol/internal/stats.RNG), or annotate //sollint:allow seedrand <why>",
+							fn.Name())
+						break
+					}
+				}
+				return true
+			}
+			report(call.Pos(),
+				"rand.%s uses the process-global generator, which is not derived from the campaign seed; use sol/internal/stats.RNG (or a seeded rand.New), or annotate //sollint:allow seedrand <why>",
+				fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,18 @@
+// Package dirdemo exercises the sollintdir meta-analyzer: malformed
+// control comments are themselves findings.
+package dirdemo
+
+//sollint:allow walltime
+const missingJustification = 1
+
+//sollint:allow wallclock typo of a known analyzer name
+const unknownName = 2
+
+//sollint:hotpath
+var notAFunction int
+
+//sollint:allow maporder a well-formed allow produces no finding
+const wellFormed = 3
+
+//sollint:hotpath
+func properlyMarked() {}

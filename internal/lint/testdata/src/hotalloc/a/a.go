@@ -1,0 +1,96 @@
+// Package a exercises the hotalloc analyzer: allocating constructs in
+// a //sollint:hotpath function fire; the identical constructs in an
+// unmarked function, and the reuse idioms, stay silent.
+package a
+
+import "fmt"
+
+type item struct {
+	key string
+	n   int
+}
+
+type engine struct {
+	scratch []item
+}
+
+// box stands in for any interface-taking helper.
+func box(v any) any { return v }
+
+// Poll is hot: each allocating construct fires.
+//
+//sollint:hotpath
+func (e *engine) Poll(items []item) int {
+	total := 0
+	inc := func() { // want `closure captures total in hot path Poll`
+		total++
+	}
+	inc()
+	fmt.Printf("polled %d\n", total) // want `fmt\.Printf in hot path Poll boxes every argument`
+	_ = box(total)                   // want `passing int into an interface parameter boxes it in hot path Poll`
+	var seen []string
+	for _, it := range items {
+		seen = append(seen, it.key) // want `append to seen grows an unpreallocated slice in hot path Poll`
+	}
+	_ = seen
+	return total
+}
+
+// PollCold is the identical body without the marker: silent.
+func (e *engine) PollCold(items []item) int {
+	total := 0
+	inc := func() {
+		total++
+	}
+	inc()
+	fmt.Printf("polled %d\n", total)
+	_ = box(total)
+	var seen []string
+	for _, it := range items {
+		seen = append(seen, it.key)
+	}
+	_ = seen
+	return total
+}
+
+// Snapshot shows the reuse idioms hotalloc deliberately permits:
+// appending to a caller buffer, to a struct field, and to a local
+// preallocated to capacity.
+//
+//sollint:hotpath
+func (e *engine) Snapshot(dst []item, src []item) []item {
+	dst = dst[:0]
+	for _, it := range src {
+		dst = append(dst, it)
+	}
+	e.scratch = append(e.scratch[:0], src...)
+	tmp := make([]item, 0, len(src))
+	tmp = append(tmp, src...)
+	return dst
+}
+
+// Keys grows a zero-capacity make: still bare, still flagged.
+//
+//sollint:hotpath
+func Keys(items []item) []string {
+	out := make([]string, 0)
+	for _, it := range items {
+		out = append(out, it.key) // want `append to out grows an unpreallocated slice in hot path Keys`
+	}
+	return out
+}
+
+// Flush carries a justified escape for a once-per-report format.
+//
+//sollint:hotpath
+func Flush(n int) {
+	fmt.Println(n) //sollint:allow hotalloc flush runs once per report, off the per-event path
+}
+
+// Reset passes untyped nil into an interface parameter: nothing to
+// box, silent.
+//
+//sollint:hotpath
+func Reset() {
+	_ = box(nil)
+}

@@ -1,0 +1,25 @@
+// Package hygienedemo exercises the clockhygiene analyzer; the test
+// installs a scope naming this package as one on the int64-ns
+// convention.
+package hygienedemo
+
+import "time"
+
+// timer mirrors an engine-internal struct.
+type timer struct {
+	deadline time.Time // want `time\.Time struct field in a package on the int64-ns convention`
+	whenNS   int64
+	started  time.Time //sollint:allow clockhygiene boundary cache read back by the Started accessor
+}
+
+// arm is unexported: internal code must already speak int64-ns.
+func arm(t *timer, at time.Time) { // want `time\.Time parameter on unexported arm`
+	t.whenNS = at.UnixNano()
+}
+
+// Start is exported: the conversion boundary, exempt by design.
+func Start(t *timer, at time.Time) {
+	armNS(t, at.UnixNano())
+}
+
+func armNS(t *timer, ns int64) { t.whenNS = ns }

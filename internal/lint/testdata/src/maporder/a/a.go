@@ -1,0 +1,95 @@
+// Package a exercises the maporder analyzer: every way a map range
+// body can make iteration order observable, beside the compliant twin
+// of each.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KeysUnsorted leaks iteration order through the returned slice.
+func KeysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map m`
+	}
+	return keys
+}
+
+// KeysSorted is the sanctioned collect-then-sort idiom: silent.
+func KeysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SumFloats accumulates floats in visit order; float addition is not
+// associative, so the total depends on it.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into total inside range over map m`
+	}
+	return total
+}
+
+// SumInts is order-independent — integer addition associates: silent.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Print writes the report in iteration order.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println call inside range over map m`
+	}
+}
+
+// Build writes to a trace builder in iteration order.
+func Build(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `WriteString call inside range over map m`
+	}
+}
+
+// Notify invokes a handler once per element in iteration order.
+func Notify(m map[string]int, handler func(string)) {
+	for k := range m {
+		handler(k) // want `call of handler handler inside range over map m`
+	}
+}
+
+// First returns whichever key the runtime happens to visit first.
+func First(m map[string]int) string {
+	for k := range m {
+		return k // want `return of a loop-variable-derived value inside range over map m`
+	}
+	return ""
+}
+
+// Invert writes through slots keyed by the loop variables — order
+// cannot be observed: silent.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Audited is an intentional order-dependence carrying a justification.
+func Audited(m map[string]int, handler func(string)) {
+	//sollint:allow maporder fan-out order is irrelevant to this handler
+	for k := range m {
+		handler(k)
+	}
+}

@@ -1,0 +1,9 @@
+// Package clock mirrors the sanctioned wall-clock boundary: its import
+// path is on the exempt list, so walltime stays silent here with no
+// annotations at all.
+package clock
+
+import "time"
+
+// Boundary reads the wall clock, as the real boundary package does.
+func Boundary() int64 { return time.Now().UnixNano() }

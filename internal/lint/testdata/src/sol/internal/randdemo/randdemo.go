@@ -1,0 +1,30 @@
+// Package randdemo stands in for a simulation package exercising the
+// seedrand analyzer.
+package randdemo
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Pick uses the process-global generator: flagged.
+func Pick(n int) int {
+	return rand.Intn(n) // want `rand\.Intn uses the process-global generator`
+}
+
+// WallSeeded builds a source from the wall clock: flagged.
+func WallSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.New is seeded from the wall clock` `rand\.NewSource is seeded from the wall clock`
+}
+
+// Seeded owns its generator and seeds it deterministically: silent.
+func Seeded(seed int64) *rand.Rand {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(10, func(i, j int) {}) // methods on an owned *rand.Rand are fine
+	return r
+}
+
+// Jitter is an intentional escape with a justification.
+func Jitter() float64 {
+	return rand.Float64() //sollint:allow seedrand jitter only spaces log lines, never touches a trace
+}

@@ -1,0 +1,31 @@
+// Package simdemo stands in for a simulation package: its import path
+// sits under sol/internal/, so walltime applies.
+package simdemo
+
+import "time"
+
+// Epoch shows the forbidden wall-clock reads.
+func Epoch(nowNS int64) int64 {
+	start := time.Now() // want `time\.Now reads the wall clock in simulation package sol/internal/simdemo`
+	_ = start
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})  // want `time\.Since reads the wall clock`
+	_ = time.After(time.Second)  // want `time\.After reads the wall clock`
+	d := time.Duration(nowNS)    // duration arithmetic is fine
+	return nowNS + int64(d)
+}
+
+// RealSmoke is the sanctioned escape: a trailing allow with a
+// justification suppresses exactly this call.
+func RealSmoke() time.Time {
+	return time.Now() //sollint:allow walltime real-clock smoke needs the wall clock
+}
+
+// PacedSmoke shows a standalone allow covering the whole following
+// statement, body included.
+func PacedSmoke() {
+	//sollint:allow walltime the retry loop below paces a live smoke
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Microsecond)
+	}
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sol/internal/lint/analysis"
+)
+
+// calleeObj resolves the object a call expression invokes: a package
+// function, a method, a builtin, or a variable of function type.
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// pkgFunc returns the called package-level function and its package
+// path, or nil for methods, builtins, and function values.
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, string) {
+	fn, ok := calleeObj(pass, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil, ""
+	}
+	return fn, fn.Pkg().Path()
+}
+
+// isTimeTime reports whether t is exactly time.Time.
+func isTimeTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Time"
+}
+
+// rootIdent returns the leftmost identifier of an expression like
+// x, x.f, x.f[i], or (*x).f — the variable that owns the storage being
+// written through — or nil when there is none (a call result, say).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesObject reports whether any identifier under n resolves to one of
+// the given objects.
+func usesObject(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsWallSeed reports whether the expression tree reads wall time
+// or process identity — the classic nondeterministic seed sources.
+func containsWallSeed(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, path := pkgFunc(pass, call); fn != nil {
+			if path == "time" && fn.Name() == "Now" {
+				found = true
+			}
+			if path == "os" && (fn.Name() == "Getpid" || fn.Name() == "Getppid") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

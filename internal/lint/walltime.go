@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+
+	"sol/internal/lint/analysis"
+)
+
+// Walltime forbids wall-clock reads and sleeps in simulation packages.
+// Simulated time flows exclusively through sol/internal/clock; a
+// single time.Now in an agent, the fleet, or the control plane makes a
+// run depend on the machine it ran on, which breaks the byte-identical
+// determinism contract across runs, worker widths, and shard counts.
+// The clock package itself is the sanctioned boundary (scope-exempt),
+// and real-clock test smokes opt out per call site with
+// //sollint:allow walltime <why>.
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Sleep/Since and friends in simulation packages",
+	Run:  runWalltime,
+}
+
+// walltimeFuncs are the package-level time functions that read or wait
+// on the wall clock. time.Duration arithmetic and time.Time formatting
+// are fine — it is acquiring "now" (or blocking until then) that is
+// nondeterministic.
+var walltimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWalltime(pass *analysis.Pass) (any, error) {
+	if !inSimScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	report := parseDirectives(pass).reporter(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, path := pkgFunc(pass, call); fn != nil && path == "time" && walltimeFuncs[fn.Name()] {
+				report(call.Pos(),
+					"time.%s reads the wall clock in simulation package %s; take time from the clock.Clock boundary, or annotate //sollint:allow walltime <why>",
+					fn.Name(), basePath(pass.Pkg.Path()))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

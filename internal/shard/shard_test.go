@@ -236,7 +236,7 @@ func TestConductorRealClockSmoke(t *testing.T) {
 	c, err := New(Config{
 		Cells: cells, Shards: shards, Workers: 8,
 		Advance: func(cell int, d time.Duration) {
-			time.Sleep(50 * time.Microsecond) // real work on the wall clock
+			time.Sleep(50 * time.Microsecond) //sollint:allow walltime this smoke simulates real work on the wall clock
 			total[cell] += d
 		},
 	})

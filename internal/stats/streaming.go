@@ -14,6 +14,8 @@ type Welford struct {
 }
 
 // Add incorporates one observation.
+//
+//sollint:hotpath
 func (w *Welford) Add(x float64) {
 	w.n++
 	d := x - w.mean
@@ -59,6 +61,8 @@ func NewEWMA(alpha float64) *EWMA {
 }
 
 // Add incorporates one observation.
+//
+//sollint:hotpath
 func (e *EWMA) Add(x float64) {
 	if !e.init {
 		e.value = x
@@ -101,6 +105,8 @@ func NewWindow(capacity int) *Window {
 }
 
 // Add appends an observation, evicting the oldest if full.
+//
+//sollint:hotpath
 func (w *Window) Add(x float64) {
 	w.buf[w.next] = x
 	w.next++
@@ -134,6 +140,8 @@ func (w *Window) Reset() {
 // sorts it ascending, and returns it. It returns nil when the window
 // is empty. The scratch is reused across queries — no allocation after
 // the first call.
+//
+//sollint:hotpath
 func (w *Window) sorted() []float64 {
 	n := w.Len()
 	if n == 0 {
@@ -151,6 +159,8 @@ func (w *Window) sorted() []float64 {
 // Percentile returns the p-th percentile (p in [0, 100]) of the stored
 // observations using nearest-rank interpolation. It returns 0 when the
 // window is empty.
+//
+//sollint:hotpath
 func (w *Window) Percentile(p float64) float64 {
 	return percentileSorted(w.sorted(), p)
 }
@@ -160,6 +170,8 @@ func (w *Window) Percentile(p float64) float64 {
 // allocates one). Safeguards that read multiple quantiles of the same
 // signal — e.g. a P90 trigger alongside a P99 log line — pay for a
 // single sorted copy instead of one per query.
+//
+//sollint:hotpath
 func (w *Window) Percentiles(dst []float64, ps ...float64) []float64 {
 	tmp := w.sorted()
 	for _, p := range ps {
@@ -169,6 +181,8 @@ func (w *Window) Percentiles(dst []float64, ps ...float64) []float64 {
 }
 
 // Mean returns the mean of the stored observations, 0 when empty.
+//
+//sollint:hotpath
 func (w *Window) Mean() float64 {
 	n := w.Len()
 	if n == 0 {
@@ -182,6 +196,8 @@ func (w *Window) Mean() float64 {
 }
 
 // Max returns the maximum stored observation, 0 when empty.
+//
+//sollint:hotpath
 func (w *Window) Max() float64 {
 	n := w.Len()
 	if n == 0 {
