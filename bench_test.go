@@ -413,6 +413,46 @@ func BenchmarkRollout32(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkRollout32Robust is BenchmarkRollout32 with the full PR-7
+// robustness policy armed — quorum gate, soak extends, deploy
+// retries, down-node tolerance — but no lifecycle plan, so no fault
+// ever fires. Events/s must stay within noise of BenchmarkRollout32:
+// the policy is consulted only at gate boundaries, and the per-epoch
+// stepping path skips all lifecycle bookkeeping when the fleet has no
+// lifecycle plan.
+func BenchmarkRollout32Robust(b *testing.B) {
+	cfg, err := controlplane.NewScenario(controlplane.ScenarioSpec{
+		Scenario: controlplane.ScenarioHealthy,
+		Nodes:    32,
+		Duration: 45 * time.Second,
+		Interval: 5 * time.Second,
+		Kinds:    []string{"harvest"},
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Campaign.Quorum = 0.9
+	cfg.Campaign.MaxSoakExtends = 2
+	cfg.Campaign.DeployRetries = 2
+	cfg.Campaign.TolerateDown = -1
+	var events uint64
+	completed := true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := controlplane.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Fleet.Events
+		completed = completed && rep.Completed
+	}
+	if !completed {
+		b.Fatal("robust-policy healthy rollout did not complete")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkRolloutManifest32 is BenchmarkRollout32 driven from a
 // declarative JSON manifest: the campaign is parsed and its agent
 // specs are resolved against the kind registry at every deploy.

@@ -10,10 +10,15 @@
 // Campaigns come from two places. Three built-in scenarios demonstrate
 // the control plane:
 //
-//	healthy      a sane candidate; completes at 100%
-//	bad-variant  a botched candidate; caught and rolled back at the canary
-//	fault-storm  a scheduling-delay storm during wave 3; rolled back,
-//	             while SOL's decoupled actuators keep deadlines met
+//	healthy          a sane candidate; completes at 100%
+//	bad-variant      a botched candidate; caught and rolled back at the canary
+//	fault-storm      a scheduling-delay storm during wave 3; rolled back,
+//	                 while SOL's decoupled actuators keep deadlines met
+//	crash-storm      a sane candidate through a 20% node crash storm; the
+//	                 quorum gate abstains over missing nodes instead of
+//	                 blaming the variant, and the campaign completes
+//	crash-storm-bad  a botched candidate during the same storm; still
+//	                 caught and rolled back with the right failure class
 //
 // Or a JSON campaign manifest declares the whole run — fleet, wave
 // plan, gate, and one or more agent-variant targets — so rollouts can
@@ -27,20 +32,33 @@
 // manifest without running anything: it prints the resolved node-0
 // variant delta (baseline vs candidate) per target kind.
 //
+// -journal records every campaign decision to a crash-safe journal as
+// it is made; if the scheduler is killed, -resume continues the same
+// campaign from the journal, producing a report byte-identical to the
+// uninterrupted run. The journal carries a configuration fingerprint,
+// so resuming under different flags is refused instead of silently
+// diverging. -kill-after n exits with status 3 once the journal holds
+// n decisions — the crash half of a kill/resume round trip in CI.
+//
 // Usage:
 //
 //	solrollout                                   # healthy, 100 nodes
 //	solrollout -scenario bad-variant -nodes 250
 //	solrollout -scenario fault-storm -waves 0.02,0.1,0.5,1 -soak 3
+//	solrollout -scenario crash-storm -expect complete
 //	solrollout -config manifest.json -expect rollback
 //	solrollout -config manifest.json -shards 8   # sharded coordination
 //	solrollout -config manifest.json -plan       # dry-run review
+//	solrollout -journal run.journal -kill-after 2   # crash mid-campaign
+//	solrollout -journal run.journal -resume         # continue it
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -70,6 +88,12 @@ func main() {
 			"dry run: print the manifest's resolved per-kind variant delta (node 0) and exit without running the fleet")
 		expect = flag.String("expect", "",
 			"exit nonzero unless the campaign ends this way: complete, rollback (default: no check)")
+		journal = flag.String("journal", "",
+			"record campaign decisions to this crash-safe journal file (requires a campaign)")
+		resume = flag.Bool("resume", false,
+			"continue a killed campaign from -journal instead of starting fresh")
+		killAfter = flag.Int("kill-after", 0,
+			"exit with status 3 once -journal holds this many decisions (CI crash injection; 0 = never)")
 	)
 	flag.Parse()
 	switch *expect {
@@ -83,12 +107,30 @@ func main() {
 		// instead of letting a CI check silently stop checking.
 		log.Fatalf("solrollout: -plan runs nothing, so -expect %s cannot be checked; drop one of the flags", *expect)
 	}
+	switch {
+	case *plan && *journal != "":
+		log.Fatalf("solrollout: -plan runs nothing, so there is no campaign to journal; drop one of the flags")
+	case (*resume || *killAfter > 0) && *journal == "":
+		log.Fatalf("solrollout: -resume and -kill-after need -journal")
+	case *resume && *killAfter > 0:
+		// Resume re-verifies the recorded prefix and runs to the end;
+		// killing it again would need the hook Resume owns internally.
+		log.Fatalf("solrollout: -kill-after applies to the recording run, not -resume")
+	case *killAfter < 0:
+		log.Fatalf("solrollout: -kill-after %d, must be >= 0", *killAfter)
+	}
 
 	var cfg controlplane.Config
+	var fingerprint string
 	if *config != "" {
-		m, err := controlplane.LoadManifest(*config)
+		raw, err := os.ReadFile(*config)
 		if err != nil {
 			log.Fatalf("solrollout: %v", err)
+		}
+		fingerprint = fnvHex(string(raw))
+		m, err := controlplane.ParseManifest(raw)
+		if err != nil {
+			log.Fatalf("solrollout: %v (in %s)", err, *config)
 		}
 		if *shards >= 0 {
 			m.Shards = *shards
@@ -138,11 +180,21 @@ func main() {
 		if *shards >= 0 {
 			sc.Shards = *shards
 		}
+		// The fingerprint covers every flag that shapes campaign
+		// decisions. Workers are excluded on purpose: the worker pool
+		// width never changes the deterministic trace, so a journal
+		// recorded at -workers 1 resumes fine at -workers 8.
+		fingerprint = fnvHex(fmt.Sprintf("scenario|%s|%d|%v|%v|%s|%d|%s|%d|%d",
+			sc.Scenario, sc.Nodes, sc.Duration, sc.Interval, *waves, sc.SoakEpochs,
+			strings.Join(sc.Kinds, ","), sc.Seed, sc.Shards))
 		var err error
 		cfg, err = controlplane.NewScenario(sc)
 		if err != nil {
 			log.Fatalf("solrollout: %v", err)
 		}
+	}
+	if *journal != "" && cfg.Campaign == nil {
+		log.Fatalf("solrollout: -journal needs a campaign, and this configuration has none")
 	}
 
 	if camp := cfg.Campaign; camp != nil {
@@ -157,7 +209,32 @@ func main() {
 			cfg.Fleet.Nodes, cfg.Fleet.Duration, cfg.Interval)
 	}
 	wall := time.Now()
-	rep, err := controlplane.Run(cfg)
+	var rep *controlplane.Report
+	var err error
+	switch {
+	case *resume:
+		fmt.Printf("resuming from journal %s...\n", *journal)
+		rep, err = controlplane.Resume(cfg, *journal, fingerprint)
+	case *journal != "":
+		j, jerr := controlplane.CreateJournal(*journal, cfg.Campaign.Name, fingerprint)
+		if jerr != nil {
+			log.Fatalf("solrollout: %v", jerr)
+		}
+		defer j.Close()
+		if *killAfter > 0 {
+			n := *killAfter
+			j.AfterAppend = func(entries int) {
+				if entries >= n {
+					fmt.Printf("solrollout: journal holds %d decision(s); exiting as asked (-kill-after %d)\n", entries, n)
+					os.Exit(3)
+				}
+			}
+		}
+		cfg.Journal = j
+		rep, err = controlplane.Run(cfg)
+	default:
+		rep, err = controlplane.Run(cfg)
+	}
 	if err != nil {
 		log.Fatalf("solrollout: %v", err)
 	}
@@ -178,4 +255,13 @@ func main() {
 	case *expect == "rollback" && !rep.RolledBack:
 		log.Fatalf("solrollout: expected the campaign to roll back, but it did not")
 	}
+}
+
+// fnvHex is the run-configuration fingerprint written to (and checked
+// against) a journal header: FNV-64a of the configuration's canonical
+// string form, in hex.
+func fnvHex(s string) string {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -25,6 +25,13 @@
 //
 //	go run ./cmd/solrollout -config examples/rollout/manifest.json
 //
+// Finally it reruns the healthy candidate through a crash storm: 20%
+// of the fleet crashes mid-campaign. Without a quorum policy a naive
+// gate would read the missing nodes as the variant failing; with one,
+// the gate abstains while attendance is low, extends the soak, judges
+// the survivors, and the blameless rollout completes — converting
+// every node that is still alive.
+//
 // Run it:
 //
 //	go run ./examples/rollout
@@ -84,6 +91,12 @@ func main() {
 	fmt.Println(rep)
 	fmt.Printf("\none shared gate rolled back %d kinds together; the manifest is data — store it, diff it, rerun it\n",
 		len(rep.Kinds))
+
+	fmt.Println("\n--- 4. crash storm: quorum gate shields a blameless variant ---")
+	storm := run(controlplane.ScenarioCrashStorm)
+	fmt.Println(storm)
+	fmt.Printf("\n%d nodes crashed and stayed down; the gate abstained instead of rolling back, and %d/%d nodes converted (%d unreachable)\n",
+		storm.Fleet.Down, storm.Converted, storm.Nodes, storm.Unconverted)
 }
 
 // manifestPath finds manifest.json whether the example runs from the

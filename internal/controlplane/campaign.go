@@ -41,7 +41,7 @@ func Run(cfg Config) (*Report, error) {
 
 	var st *campaignState
 	if cfg.Campaign != nil {
-		st, err = newCampaignState(cfg.Campaign, co)
+		st, err = newCampaignState(cfg.Campaign, co, cfg.Journal, cfg.Replay)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +75,11 @@ func Run(cfg Config) (*Report, error) {
 		Fleet:    co.Report(),
 	}
 	if st != nil {
+		if err := st.replayDone(); err != nil {
+			return nil, err
+		}
 		st.fill(rep)
+		st.fillConverted(rep, st.conv, st.targeted)
 	}
 	return rep, nil
 }
@@ -95,26 +99,76 @@ type memberKey struct {
 type campaignOutcome struct {
 	camp         *Campaign
 	wave         int // index of the next wave to convert
-	converted    int // nodes currently converted
+	converted    int // nodes currently targeted for conversion
 	maxConverted int
 	done         bool
 	completed    bool
 	rolledBack   bool
+	halted       bool
+	extends      int // consecutive quorum abstentions for the current wave
 	failure      taxonomy.FailureClass
 	failureWave  int
 	reason       string
 	trace        []WaveEvent
+
+	// Journal/replay plumbing (see Config.Journal, Config.Replay).
+	// Every trace event passes through emit: while replaying a killed
+	// run's journal the re-simulated event is verified (==) against the
+	// recorded prefix; past the prefix, events append to the journal.
+	// jerr latches the first divergence or append failure.
+	journal  *Journal
+	replay   []WaveEvent
+	replayed int
+	jerr     error
 }
 
-// beginWave records a conversion: total is the whole converted cohort
-// after the engine deployed the new wave's slices.
+// emit is the single choke point every wave event passes through.
+func (o *campaignOutcome) emit(ev WaveEvent) {
+	o.trace = append(o.trace, ev)
+	if o.jerr != nil {
+		return
+	}
+	if o.replayed < len(o.replay) {
+		if want := o.replay[o.replayed]; ev != want {
+			o.jerr = fmt.Errorf("controlplane: journal diverges at entry %d: recorded %s (wave %d, epoch %d), this run produced %s (wave %d, epoch %d) — the journal does not match this configuration",
+				o.replayed, want.Action, want.Wave, want.Epoch, ev.Action, ev.Wave, ev.Epoch)
+			return
+		}
+		o.replayed++
+		return
+	}
+	if o.journal != nil {
+		if err := o.journal.Append(ev); err != nil {
+			o.jerr = err
+		}
+	}
+}
+
+// journalErr returns the latched journal divergence/append failure.
+func (o *campaignOutcome) journalErr() error { return o.jerr }
+
+// replayDone verifies the whole recorded prefix was consumed — a
+// journal with more events than the run reproduced belongs to a
+// different configuration (or a longer horizon).
+func (o *campaignOutcome) replayDone() error {
+	if o.jerr == nil && o.replayed < len(o.replay) {
+		return fmt.Errorf("controlplane: journal has %d recorded events but this run produced only %d — the journal does not match this configuration",
+			len(o.replay), o.replayed)
+	}
+	return o.jerr
+}
+
+// beginWave records a conversion: total is the whole targeted cohort
+// after the engine deployed (or deferred, for down nodes) the new
+// wave's slices.
 func (o *campaignOutcome) beginWave(epoch int, at time.Duration, total int) {
 	o.converted = total
 	if total > o.maxConverted {
 		o.maxConverted = total
 	}
 	o.wave++
-	o.trace = append(o.trace, WaveEvent{
+	o.extends = 0
+	o.emit(WaveEvent{
 		Epoch: epoch, At: at, Wave: o.wave,
 		Action: ActionConvert, Converted: o.converted,
 	})
@@ -124,7 +178,7 @@ func (o *campaignOutcome) beginWave(epoch int, at time.Duration, total int) {
 // and then calls finishRollback — the deploys happen between the two
 // trace events, exactly when the fleet is quiescent at the barrier.
 func (o *campaignOutcome) failWave(epoch int, at time.Duration, h CohortHealth, res GateResult) {
-	o.trace = append(o.trace, WaveEvent{
+	o.emit(WaveEvent{
 		Epoch: epoch, At: at, Wave: o.wave,
 		Action: ActionFail, Converted: o.converted,
 		Health: h, Reason: res.Reason, Class: res.Class,
@@ -133,7 +187,7 @@ func (o *campaignOutcome) failWave(epoch int, at time.Duration, h CohortHealth, 
 
 // finishRollback records the completed revert and settles the verdict.
 func (o *campaignOutcome) finishRollback(epoch int, at time.Duration, res GateResult) {
-	o.trace = append(o.trace, WaveEvent{
+	o.emit(WaveEvent{
 		Epoch: epoch, At: at, Wave: o.wave,
 		Action: ActionRollback, Converted: o.converted, Class: res.Class,
 	})
@@ -150,7 +204,7 @@ func (o *campaignOutcome) finishRollback(epoch int, at time.Duration, res GateRe
 // the engine to convert the next wave.
 func (o *campaignOutcome) passWave(epoch int, at time.Duration, h CohortHealth) bool {
 	if o.wave == len(o.camp.Waves) {
-		o.trace = append(o.trace, WaveEvent{
+		o.emit(WaveEvent{
 			Epoch: epoch, At: at, Wave: o.wave,
 			Action: ActionComplete, Converted: o.converted, Health: h,
 		})
@@ -158,11 +212,83 @@ func (o *campaignOutcome) passWave(epoch int, at time.Duration, h CohortHealth) 
 		o.done = true
 		return true
 	}
-	o.trace = append(o.trace, WaveEvent{
+	o.emit(WaveEvent{
 		Epoch: epoch, At: at, Wave: o.wave,
 		Action: ActionPass, Converted: o.converted, Health: h,
 	})
 	return false
+}
+
+// abstainWave records a quorum abstention: too few cohort nodes are
+// reporting to judge the gate, so the soak extends one more epoch.
+func (o *campaignOutcome) abstainWave(epoch int, at time.Duration, h CohortHealth, reason string) {
+	o.extends++
+	o.emit(WaveEvent{
+		Epoch: epoch, At: at, Wave: o.wave,
+		Action: ActionAbstain, Converted: o.converted,
+		Health: h, Reason: reason,
+	})
+}
+
+// haltWave records a tolerate-down halt: the campaign stops with the
+// cohort frozen in place (no revert — the down nodes could not be
+// reverted anyway, and freezing preserves the evidence).
+func (o *campaignOutcome) haltWave(epoch int, at time.Duration, h CohortHealth, reason string) {
+	o.emit(WaveEvent{
+		Epoch: epoch, At: at, Wave: o.wave,
+		Action: ActionHalt, Converted: o.converted,
+		Health: h, Reason: reason, Class: taxonomy.FailureEnvironment,
+	})
+	o.halted = true
+	o.failure = taxonomy.FailureEnvironment
+	o.failureWave = o.wave
+	o.reason = reason
+	o.done = true
+}
+
+// gateDecision is judgeGate's verdict on one gate boundary.
+type gateDecision int
+
+const (
+	gateAdvance  gateDecision = iota // gate passed: next wave (or completed)
+	gateRollback                     // gate failed: revert the cohort
+	gateExtend                       // quorum abstained: soak one more epoch
+	gateHalt                         // tolerate-down tripped: freeze and stop
+)
+
+// judgeGate runs the full degradation-aware gate policy at one
+// boundary, in severity order: the tolerate-down policy first (down
+// converted nodes are a hard stop), then quorum (don't judge a cohort
+// that isn't reporting — extend the soak instead of rolling back a
+// blameless variant on missing evidence), then the health gate
+// itself. Both engines decide every boundary through here, so the
+// policy cannot drift between them. The trace event for the decision
+// is emitted before judgeGate returns.
+func (o *campaignOutcome) judgeGate(epoch int, at time.Duration, h CohortHealth) (gateDecision, GateResult) {
+	if tol := o.camp.TolerateDown; tol >= 0 && h.NodesDown > tol {
+		reason := fmt.Sprintf("%d cohort nodes down > tolerate-down %d", h.NodesDown, tol)
+		o.haltWave(epoch, at, h, reason)
+		return gateHalt, GateResult{Reason: reason, Class: taxonomy.FailureEnvironment}
+	}
+	if h.NodesTotal > 0 && h.NodesReporting < h.NodesTotal {
+		q := o.camp.quorum()
+		frac := float64(h.NodesReporting) / float64(h.NodesTotal)
+		// An empty reporting set is never judged, whatever the extend
+		// budget: the gate would pass vacuously and complete a campaign
+		// no surviving node is running.
+		if frac < q && (o.extends < o.camp.MaxSoakExtends || h.NodesReporting == 0) {
+			o.abstainWave(epoch, at, h, fmt.Sprintf("quorum not met: %d/%d cohort nodes reporting, need %.0f%%",
+				h.NodesReporting, h.NodesTotal, q*100))
+			return gateExtend, GateResult{OK: true}
+		}
+	}
+	res := o.camp.Gate.Check(h)
+	if !res.OK {
+		o.failWave(epoch, at, h, res)
+		return gateRollback, res
+	}
+	o.passWave(epoch, at, h)
+	return gateAdvance, res
 }
 
 // fill copies the campaign outcome into the run report.
@@ -173,11 +299,46 @@ func (o *campaignOutcome) fill(rep *Report) {
 	rep.Trace = o.trace
 	rep.Completed = o.completed
 	rep.RolledBack = o.rolledBack
+	rep.Halted = o.halted
 	rep.Failure = o.failure
 	rep.FailureWave = o.failureWave
 	rep.FailureReason = o.reason
 	rep.MaxConverted = o.maxConverted
 	rep.Converted = o.converted
+}
+
+// fillConverted reconciles the report's cohort accounting with what
+// actually deployed: conv[n] is true while node n runs the candidate,
+// targeted is the watermark of nodes the campaign tried to convert.
+// After a rollback, survivors of conv are nodes the revert could not
+// reach — stranded on the candidate.
+func (o *campaignOutcome) fillConverted(rep *Report, conv []bool, targeted int) {
+	n := 0
+	for _, c := range conv {
+		if c {
+			n++
+		}
+	}
+	if o.rolledBack {
+		rep.Stranded = n
+		return
+	}
+	rep.Converted = n
+	rep.Unconverted = targeted - n
+}
+
+// pendingOp is one deferred deploy: a conversion or revert that found
+// its node down and waits out a deterministic exponential backoff
+// (retry after 1 epoch, then 2 more, then 4, ...) for up to
+// Campaign.DeployRetries attempts. sh is the owning shard's index in
+// the sharded engine (0 in the classic engine), for the per-shard
+// deadline bookkeeping the deploy resets.
+type pendingOp struct {
+	node     int
+	sh       int
+	revert   bool
+	attempts int
+	next     int // epoch of the next attempt
 }
 
 // campaignState is the wave state machine between lockstep barriers.
@@ -189,10 +350,17 @@ type campaignState struct {
 	targets []compiledTarget
 	kinds   map[string]bool
 
-	// order is the deterministic node shuffle; nodes convert in this
-	// order, so order[:converted] is always the converted cohort.
-	order []int
-	soak  int // epochs left before the current wave's gate
+	// order is the deterministic node shuffle; nodes are targeted in
+	// this order, so order[:targeted] is the cohort the campaign has
+	// tried to convert. conv[n] is true while node n actually runs the
+	// candidate — under lifecycle faults a targeted node can be
+	// unconverted (down at deploy) and pending holds the deferred
+	// deploys being retried.
+	order    []int
+	targeted int
+	conv     []bool
+	pending  []pendingOp
+	soak     int // epochs left before the current wave's gate
 	// prev holds each cohort agent's action count at the last barrier,
 	// for per-epoch deadline-compliance deltas; scratch is the reused
 	// member-health buffer of the per-epoch cohort poll.
@@ -200,7 +368,7 @@ type campaignState struct {
 	scratch []fleet.MemberHealth
 }
 
-func newCampaignState(camp *Campaign, co *fleet.Coordinator) (*campaignState, error) {
+func newCampaignState(camp *Campaign, co *fleet.Coordinator, journal *Journal, replay []WaveEvent) (*campaignState, error) {
 	targets, err := camp.compile()
 	if err != nil {
 		return nil, err
@@ -210,11 +378,12 @@ func newCampaignState(camp *Campaign, co *fleet.Coordinator) (*campaignState, er
 		kinds[tg.kind] = true
 	}
 	return &campaignState{
-		campaignOutcome: campaignOutcome{camp: camp},
+		campaignOutcome: campaignOutcome{camp: camp, journal: journal, replay: replay},
 		co:              co,
 		targets:         targets,
 		kinds:           kinds,
 		order:           stats.NewRNG(camp.Seed ^ 0xc0a1e5ce).Perm(co.Nodes()),
+		conv:            make([]bool, co.Nodes()),
 		prev:            make(map[memberKey]uint64),
 	}, nil
 }
@@ -262,29 +431,77 @@ func (s *campaignState) deploy(nodeIdx int, revert bool) error {
 	return deployTargets(s.co, s.targets, s.prev, nodeIdx, revert)
 }
 
-// convertNextWave converts the next wave's cohort slice to the
-// candidate variants and arms the soak counter.
+// tryDeploy deploys to a node if it is up, or defers the deploy into
+// the pending retry queue (when the campaign's DeployRetries allows)
+// if it is down.
+func (s *campaignState) tryDeploy(node int, revert bool, epoch int) error {
+	if s.co.NodeDown(node) {
+		if s.camp.DeployRetries > 0 {
+			s.pending = append(s.pending, pendingOp{node: node, revert: revert, next: epoch + 1})
+		}
+		return nil
+	}
+	if err := s.deploy(node, revert); err != nil {
+		return err
+	}
+	s.conv[node] = !revert
+	return nil
+}
+
+// processPending retries deferred deploys that are due at epoch: a
+// recovered node gets its deploy, a still-down node backs off
+// exponentially until its attempts run out. In-place filter; the
+// queue keeps arrival order, so retries are deterministic.
+func (s *campaignState) processPending(epoch int) error {
+	keep := s.pending[:0]
+	for _, p := range s.pending {
+		if epoch < p.next {
+			keep = append(keep, p)
+			continue
+		}
+		if s.co.NodeDown(p.node) {
+			p.attempts++
+			if p.attempts < s.camp.DeployRetries {
+				p.next = epoch + (1 << p.attempts)
+				keep = append(keep, p)
+			}
+			continue
+		}
+		if err := s.deploy(p.node, p.revert); err != nil {
+			return err
+		}
+		s.conv[p.node] = !p.revert
+	}
+	s.pending = keep
+	return nil
+}
+
+// convertNextWave targets the next wave's cohort slice at the
+// candidate variants (deferring down nodes) and arms the soak counter.
 func (s *campaignState) convertNextWave(epoch int) error {
 	frac := s.camp.Waves[s.wave]
 	target := cohortSize(frac, s.co.Nodes())
-	for i := s.converted; i < target; i++ {
-		if err := s.deploy(s.order[i], false); err != nil {
+	for i := s.targeted; i < target; i++ {
+		if err := s.tryDeploy(s.order[i], false, epoch); err != nil {
 			return err
 		}
 	}
+	s.targeted = target
 	s.soak = s.camp.SoakEpochs
 	s.beginWave(epoch, s.co.Elapsed(), target)
-	return nil
+	return s.journalErr()
 }
 
 // observe runs at every lockstep barrier: it aggregates cohort health
 // (keeping per-epoch deadline deltas fresh even while soaking) and,
-// when the soak is over, judges the gate and advances, completes, or
-// rolls back the campaign (reverting the whole converted cohort to the
-// baseline variants).
+// when the soak is over, retries deferred deploys and judges the gate
+// — advancing, extending the soak on a quorum abstention, halting on
+// the tolerate-down policy, or rolling the cohort back to baseline.
 func (s *campaignState) observe(epoch int, step time.Duration) error {
 	if s.done {
-		return nil
+		// The campaign is settled but deferred deploys (rollback
+		// reverts to then-down nodes) may still be retrying.
+		return s.processPending(epoch)
 	}
 	h := s.cohortHealth(step)
 	if s.soak > 0 {
@@ -293,39 +510,73 @@ func (s *campaignState) observe(epoch int, step time.Duration) error {
 	if s.soak > 0 {
 		return nil
 	}
+	if err := s.processPending(epoch); err != nil {
+		return err
+	}
 	at := s.co.Elapsed()
-	res := s.camp.Gate.Check(h)
-	if !res.OK {
-		s.failWave(epoch, at, h, res)
-		for i := 0; i < s.converted; i++ {
-			if err := s.deploy(s.order[i], true); err != nil {
+	dec, res := s.judgeGate(epoch, at, h)
+	switch dec {
+	case gateExtend:
+		s.soak = 1
+	case gateHalt:
+		// Frozen in place: no deploys, pending retries dropped.
+		s.pending = s.pending[:0]
+	case gateRollback:
+		s.pending = s.pending[:0] // conversions no longer wanted
+		for i := 0; i < s.targeted; i++ {
+			n := s.order[i]
+			if !s.conv[n] {
+				continue
+			}
+			if err := s.tryDeploy(n, true, epoch); err != nil {
 				return err
 			}
 		}
 		s.finishRollback(epoch, at, res)
-		return nil
+	case gateAdvance:
+		if !s.done {
+			return s.convertNextWave(epoch)
+		}
 	}
-	if s.passWave(epoch, at, h) {
-		return nil
-	}
-	return s.convertNextWave(epoch)
+	return s.journalErr()
 }
 
 // cohortHealthOver aggregates every target kind over the given
-// converted nodes at the current barrier and updates the per-agent
+// targeted nodes at the current barrier and updates the per-agent
 // action bookkeeping in prev. step is the last epoch's length, for the
 // deadline floor. The union is what the shared gate judges: in a
 // multi-kind campaign, one kind's safeguard trips fail the wave for
-// all of them. The single-barrier engine passes the whole converted
+// all of them. The single-barrier engine passes the whole targeted
 // cohort; the sharded engine passes one shard's slice (its shard-local
 // observation), and the gate judges the shard healths summed. scratch
 // is the caller's reusable member-health buffer, so per-epoch cohort
 // polling allocates nothing in steady state.
 //
+// Node attendance: down nodes contribute no agent evidence (their
+// stacks are dead, their counters frozen at the crash — polling them
+// would bill the crash to the variant), dark nodes likewise (their
+// reports are unavailable, not their agents), and nodes whose
+// conversion is still deferred (conv[n] false) have nothing of the
+// candidate to report. All three are counted so the quorum and
+// tolerate-down policies can judge attendance itself.
+//
 //sollint:hotpath
-func cohortHealthOver(co *fleet.Coordinator, kinds map[string]bool, nodes []int, prev map[memberKey]uint64, step time.Duration, scratch *[]fleet.MemberHealth) CohortHealth {
+func cohortHealthOver(co *fleet.Coordinator, kinds map[string]bool, nodes []int, conv []bool, prev map[memberKey]uint64, step time.Duration, scratch *[]fleet.MemberHealth) CohortHealth {
 	var h CohortHealth
 	for _, nodeIdx := range nodes {
+		h.NodesTotal++
+		if co.NodeDown(nodeIdx) {
+			h.NodesDown++
+			continue
+		}
+		if conv != nil && !conv[nodeIdx] {
+			continue
+		}
+		if co.NodeDark(nodeIdx) {
+			h.NodesDark++
+			continue
+		}
+		h.NodesReporting++
 		*scratch = co.Supervisor(nodeIdx).HealthDetailInto(*scratch)
 		for _, mh := range *scratch {
 			if !kinds[mh.Kind] {
@@ -347,15 +598,19 @@ func cohortHealthOver(co *fleet.Coordinator, kinds map[string]bool, nodes []int,
 			h.DataCollected += hh.DataCollected
 
 			key := memberKey{nodeIdx, mh.Name}
-			delta := hh.Actions - prev[key]
+			last := prev[key]
 			prev[key] = hh.Actions
 			// Same eligibility rule as the fleet report: a configured
 			// deadline no longer than the epoch, and never halted —
-			// halting is the sanctioned way to stop acting.
-			if mh.MaxActuationDelay > 0 && step >= mh.MaxActuationDelay &&
+			// halting is the sanctioned way to stop acting. A member
+			// whose counter went backwards was relaunched by a node
+			// restart mid-epoch; re-baseline and skip this epoch's
+			// judgement rather than computing a wrapped delta.
+			if hh.Actions >= last &&
+				mh.MaxActuationDelay > 0 && step >= mh.MaxActuationDelay &&
 				!hh.Halted && hh.ActuatorSafeguardTriggers == 0 {
 				h.DeadlineEligible++
-				if delta >= uint64(step/mh.MaxActuationDelay) {
+				if hh.Actions-last >= uint64(step/mh.MaxActuationDelay) {
 					h.DeadlineMet++
 				}
 			}
@@ -364,7 +619,7 @@ func cohortHealthOver(co *fleet.Coordinator, kinds map[string]bool, nodes []int,
 	return h
 }
 
-// cohortHealth is cohortHealthOver on the whole converted cohort.
+// cohortHealth is cohortHealthOver on the whole targeted cohort.
 func (s *campaignState) cohortHealth(step time.Duration) CohortHealth {
-	return cohortHealthOver(s.co, s.kinds, s.order[:s.converted], s.prev, step, &s.scratch)
+	return cohortHealthOver(s.co, s.kinds, s.order[:s.targeted], s.conv, s.prev, step, &s.scratch)
 }

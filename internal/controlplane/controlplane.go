@@ -63,6 +63,50 @@ type Campaign struct {
 	// Seed drives the deterministic shuffle that orders nodes into
 	// waves, so the canary cohort is not just the lowest node indices.
 	Seed uint64 `json:"seed,omitempty"`
+
+	// Robustness policy (manifest schema version 2): how the campaign
+	// behaves when nodes crash, flap, or go dark under it. The zero
+	// values reproduce the version-1 behavior exactly — judge on full
+	// attendance, never retry, halt on the first down cohort node.
+
+	// Quorum is the fraction of the targeted cohort's nodes that must
+	// be reporting health for a gate to be judged; below it the soak is
+	// extended instead (see MaxSoakExtends), so a crash storm doesn't
+	// roll back a blameless variant on missing evidence. 0 means 1 —
+	// every cohort node must report.
+	Quorum float64 `json:"quorum,omitempty"`
+	// MaxSoakExtends bounds how many consecutive epochs a wave's gate
+	// may abstain for lack of quorum before judging on whatever
+	// evidence is in hand. A cohort with zero reporting nodes is never
+	// judged (a vacuous pass would complete a campaign nobody ran).
+	MaxSoakExtends int `json:"max_soak_extends,omitempty"`
+	// DeployRetries bounds how many times a conversion or rollback
+	// deploy to a down node is retried, with deterministic exponential
+	// backoff (1, 2, 4, ... epochs between attempts). 0 means no
+	// retries: a down node is skipped and stays on whatever it runs.
+	DeployRetries int `json:"deploy_retries,omitempty"`
+	// TolerateDown is how many down cohort nodes the campaign tolerates
+	// at a gate before halting — converted nodes dying under the
+	// candidate are suspicious, and halting freezes the blast radius
+	// for a human. -1 tolerates any number (the crash-storm posture:
+	// trust the quorum gate); 0, the default, halts on the first.
+	TolerateDown int `json:"tolerate_down,omitempty"`
+}
+
+// quorum returns the effective reporting-fraction floor (Quorum,
+// defaulted to 1).
+func (c *Campaign) quorum() float64 {
+	if c.Quorum == 0 {
+		return 1
+	}
+	return c.Quorum
+}
+
+// robust reports whether any robustness-policy field departs from the
+// version-1 defaults; manifests using them must declare schema
+// version >= 2.
+func (c *Campaign) robust() bool {
+	return c.Quorum != 0 || c.MaxSoakExtends != 0 || c.DeployRetries != 0 || c.TolerateDown != 0
 }
 
 // DefaultWaves returns the canonical rollout plan: 1% → 5% → 25% →
@@ -245,6 +289,19 @@ func (c *Campaign) validate() error {
 		}
 		prev = w
 	}
+	// NaN-safe phrasing again: !(q >= 0 && q <= 1) catches NaN.
+	if q := c.Quorum; !(q >= 0 && q <= 1) {
+		return fmt.Errorf("controlplane: campaign %q: Quorum = %v, must be in [0, 1]", c.Name, q)
+	}
+	if c.MaxSoakExtends < 0 {
+		return fmt.Errorf("controlplane: campaign %q: MaxSoakExtends = %d, must be >= 0", c.Name, c.MaxSoakExtends)
+	}
+	if c.DeployRetries < 0 {
+		return fmt.Errorf("controlplane: campaign %q: DeployRetries = %d, must be >= 0", c.Name, c.DeployRetries)
+	}
+	if c.TolerateDown < -1 {
+		return fmt.Errorf("controlplane: campaign %q: TolerateDown = %d, must be >= -1", c.Name, c.TolerateDown)
+	}
 	_, err := c.compile()
 	return err
 }
@@ -271,28 +328,39 @@ func cohortSize(frac float64, nodes int) int {
 // actuation-deadline compliance. This is the evidence a Gate judges.
 type CohortHealth struct {
 	// Agents is the cohort size in agents (not nodes).
-	Agents int
+	Agents int `json:"agents"`
 	// Halted and ModelFailing count agents whose respective safeguard
 	// is currently engaged.
-	Halted       int
-	ModelFailing int
+	Halted       int `json:"halted,omitempty"`
+	ModelFailing int `json:"model_failing,omitempty"`
 	// ActuatorTriggers and ModelTriggers are cumulative safeguard trip
 	// counts over the cohort's lifetime; Mitigations likewise.
-	ActuatorTriggers uint64
-	ModelTriggers    uint64
-	Mitigations      uint64
+	ActuatorTriggers uint64 `json:"actuator_triggers,omitempty"`
+	ModelTriggers    uint64 `json:"model_triggers,omitempty"`
+	Mitigations      uint64 `json:"mitigations,omitempty"`
 	// ScheduleViolations counts model steps that ran late — the
 	// footprint of scheduling-delay faults.
-	ScheduleViolations uint64
+	ScheduleViolations uint64 `json:"schedule_violations,omitempty"`
 	// DataRejected over DataCollected is the bad-input-data footprint.
-	DataRejected  uint64
-	DataCollected uint64
+	DataRejected  uint64 `json:"data_rejected,omitempty"`
+	DataCollected uint64 `json:"data_collected,omitempty"`
 	// DeadlineMet over DeadlineEligible is actuation-deadline
 	// compliance over the last lockstep epoch: an eligible agent (has
 	// a deadline no longer than the epoch, never halted) must act at
 	// least floor(epoch/deadline) times per epoch.
-	DeadlineMet      int
-	DeadlineEligible int
+	DeadlineMet      int `json:"deadline_met,omitempty"`
+	DeadlineEligible int `json:"deadline_eligible,omitempty"`
+	// Node attendance: of the NodesTotal nodes targeted by the
+	// campaign so far, NodesReporting contributed the agent evidence
+	// above; NodesDown are crashed, NodesDark are observability-dark,
+	// and the remainder (if any) are up but not yet converted (deploy
+	// deferred while they were down). The quorum gate judges
+	// NodesReporting/NodesTotal; the tolerate-down policy judges
+	// NodesDown. All zero only in pre-lifecycle traces.
+	NodesTotal     int `json:"nodes_total,omitempty"`
+	NodesReporting int `json:"nodes_reporting,omitempty"`
+	NodesDown      int `json:"nodes_down,omitempty"`
+	NodesDark      int `json:"nodes_dark,omitempty"`
 }
 
 // add accumulates o into h, field-wise. The sharded campaign engine
@@ -311,17 +379,29 @@ func (h *CohortHealth) add(o CohortHealth) {
 	h.DataCollected += o.DataCollected
 	h.DeadlineMet += o.DeadlineMet
 	h.DeadlineEligible += o.DeadlineEligible
+	h.NodesTotal += o.NodesTotal
+	h.NodesReporting += o.NodesReporting
+	h.NodesDown += o.NodesDown
+	h.NodesDark += o.NodesDark
 }
 
-// String renders the cohort health as one deterministic line.
+// String renders the cohort health as one deterministic line. The
+// node-attendance suffix appears only when attendance is imperfect —
+// some targeted node down, dark, or unconverted — so fault-free traces
+// render exactly as they always have.
 func (h CohortHealth) String() string {
 	deadline := "n/a"
 	if h.DeadlineEligible > 0 {
 		deadline = fmt.Sprintf("%d/%d", h.DeadlineMet, h.DeadlineEligible)
 	}
-	return fmt.Sprintf("agents=%d halted=%d failing=%d act-trig=%d model-trig=%d viol=%d rejected=%d/%d deadline=%s",
+	attendance := ""
+	if h.NodesTotal > 0 && h.NodesReporting < h.NodesTotal {
+		attendance = fmt.Sprintf(" nodes=%d/%d down=%d dark=%d",
+			h.NodesReporting, h.NodesTotal, h.NodesDown, h.NodesDark)
+	}
+	return fmt.Sprintf("agents=%d halted=%d failing=%d act-trig=%d model-trig=%d viol=%d rejected=%d/%d deadline=%s%s",
 		h.Agents, h.Halted, h.ModelFailing, h.ActuatorTriggers, h.ModelTriggers,
-		h.ScheduleViolations, h.DataRejected, h.DataCollected, deadline)
+		h.ScheduleViolations, h.DataRejected, h.DataCollected, deadline, attendance)
 }
 
 // Gate is the health bar a converted cohort must clear for a rollout
@@ -453,6 +533,17 @@ type Config struct {
 	// plain lockstep run, the no-campaign baseline rollback reports
 	// are compared against.
 	Campaign *Campaign
+	// Journal, when non-nil, records every wave event as it is decided
+	// (synced per entry), so a killed run can be resumed. The caller
+	// owns the journal's lifetime; Run never closes it.
+	Journal *Journal
+	// Replay is the wave-event prefix recovered from a killed run's
+	// journal (see Resume). The run re-simulates from the virtual
+	// start — determinism makes that exact — and verifies each decision
+	// it reproduces against the prefix, erroring on the first
+	// divergence (a journal from a different configuration); events
+	// past the prefix are appended to Journal as usual.
+	Replay []WaveEvent
 }
 
 func (c Config) validate() error {

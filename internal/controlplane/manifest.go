@@ -94,7 +94,16 @@ const defaultInterval = 5 * time.Second
 // and the newest it accepts. Bump it when the manifest shape itself
 // changes incompatibly; agent-param drift within a version is caught
 // field-by-field at resolve time instead.
-const ManifestVersion = 1
+//
+// Version history:
+//
+//	1 — initial schema (fleet sizing + campaign waves/soak/gate).
+//	2 — campaign robustness policy: quorum, max_soak_extends,
+//	    deploy_retries, tolerate_down. A version-1 manifest using
+//	    these fields is rejected with a hint to declare version 2,
+//	    so an old binary's silent-ignore can never be mistaken for
+//	    the policy being in force.
+const ManifestVersion = 2
 
 // Validate checks the manifest without building a fleet: schema
 // version, sizing, and that every campaign target resolves against
@@ -114,9 +123,28 @@ func (m *Manifest) Validate() error {
 		return fmt.Errorf("controlplane: manifest shards = %d, must be >= 0", m.Shards)
 	}
 	if m.Campaign != nil {
-		return m.Campaign.validate()
+		if err := m.Campaign.validate(); err != nil {
+			return err
+		}
+		// The robustness policy is a version-2 surface. Requiring the
+		// declared version keeps the failure mode honest: a version-1
+		// manifest with policy fields would parse under this binary but
+		// be rejected outright by a version-1 binary — never silently
+		// run without the policy.
+		if m.Campaign.robust() && m.version() < 2 {
+			return fmt.Errorf("controlplane: campaign %q sets a robustness policy (quorum/max_soak_extends/deploy_retries/tolerate_down), which needs manifest version 2 — declare \"version\": 2",
+				m.Campaign.Name)
+		}
 	}
 	return nil
+}
+
+// version is the manifest's effective schema version (absent means 1).
+func (m *Manifest) version() int {
+	if m.Version == 0 {
+		return 1
+	}
+	return m.Version
 }
 
 // std returns the StandardNode configuration the manifest's fleet is

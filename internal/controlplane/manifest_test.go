@@ -251,17 +251,17 @@ func TestManifestVersion(t *testing.T) {
 		return `{"version": ` + v + `, "nodes": 4, "duration": "10s", "kinds": ["harvest"],
 			"campaign": {"name": "x", "targets": [{"candidate": {"kind": "harvest"}}]}}`
 	}
-	for _, ok := range []string{"1"} {
+	for _, ok := range []string{"1", "2"} {
 		if _, err := ParseManifest([]byte(withVersion(ok))); err != nil {
 			t.Fatalf("version %s rejected: %v", ok, err)
 		}
 	}
-	for _, bad := range []string{"2", "99", "-1"} {
+	for _, bad := range []string{"3", "99", "-1"} {
 		_, err := ParseManifest([]byte(withVersion(bad)))
 		if err == nil {
 			t.Fatalf("version %s accepted", bad)
 		}
-		if !strings.Contains(err.Error(), "version "+bad) || !strings.Contains(err.Error(), "1") {
+		if !strings.Contains(err.Error(), "version "+bad) || !strings.Contains(err.Error(), "2") {
 			t.Fatalf("version error does not name the versions: %v", err)
 		}
 	}
@@ -276,6 +276,133 @@ func TestManifestVersion(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"version":1`) {
 		t.Fatalf("version lost in marshal: %s", data)
+	}
+}
+
+// robustManifest is a version-2 manifest exercising every campaign
+// robustness-policy field the v2 schema added.
+const robustManifest = `{
+  "version": 2,
+  "nodes": 8,
+  "duration": "30s",
+  "kinds": ["harvest"],
+  "campaign": {
+    "name": "guarded",
+    "targets": [{"candidate": {"kind": "harvest", "variant": "v2"}}],
+    "quorum": 0.9,
+    "max_soak_extends": 2,
+    "deploy_retries": 3,
+    "tolerate_down": -1
+  }
+}`
+
+// TestManifestRobustPolicy pins the version-2 schema surface: the
+// policy fields parse, survive a marshal round trip as a fixpoint,
+// reach the campaign, and are version-gated — a version-1 manifest
+// declaring any of them is rejected with a hint naming version 2, so
+// an old binary's silent-ignore can never masquerade as the policy
+// being in force.
+func TestManifestRobustPolicy(t *testing.T) {
+	t.Parallel()
+	m, err := ParseManifest([]byte(robustManifest))
+	if err != nil {
+		t.Fatalf("robust manifest rejected: %v", err)
+	}
+	c := m.Campaign
+	if c.Quorum != 0.9 || c.MaxSoakExtends != 2 || c.DeployRetries != 3 || c.TolerateDown != -1 {
+		t.Fatalf("policy fields lost in parse: quorum %v, extends %d, retries %d, tolerate %d",
+			c.Quorum, c.MaxSoakExtends, c.DeployRetries, c.TolerateDown)
+	}
+	if !c.robust() {
+		t.Fatal("campaign with policy fields not recognized as robust")
+	}
+
+	// Marshal fixpoint: the decoded manifest re-encodes to a form that
+	// decodes back to the same manifest, with every policy field intact.
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"version":2`, `"quorum":0.9`, `"max_soak_extends":2`, `"deploy_retries":3`, `"tolerate_down":-1`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("marshal lost %s:\n%s", want, data)
+		}
+	}
+	again, err := ParseManifest(data)
+	if err != nil {
+		t.Fatalf("re-parse of marshaled manifest: %v", err)
+	}
+	if !reflect.DeepEqual(m, again) {
+		t.Fatalf("manifest is not a round-trip fixpoint:\n%+v\nvs\n%+v", m, again)
+	}
+
+	// Version gating: the same campaign without "version": 2 (absent or
+	// explicit 1) is refused with the migration hint.
+	for _, v := range []string{`"version": 1, `, ``} {
+		downgraded := `{` + v + strings.TrimPrefix(robustManifest, "{\n  \"version\": 2,")
+		_, err := ParseManifest([]byte(downgraded))
+		if err == nil {
+			t.Fatalf("robustness policy accepted without version 2:\n%s", downgraded)
+		}
+		for _, want := range []string{"guarded", `"version": 2`} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("gate error missing %q: %v", want, err)
+			}
+		}
+	}
+
+	// Typos in the policy fields still fail strict parse.
+	if _, err := ParseManifest([]byte(strings.Replace(robustManifest, "tolerate_down", "tolerate_downn", 1))); err == nil {
+		t.Fatal("policy-field typo accepted")
+	}
+
+	// The -plan dry run renders the policy line.
+	plan, err := m.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "policy: quorum 90%, max soak extends 2, deploy retries 3, tolerate any down") {
+		t.Fatalf("plan missing the policy line:\n%s", plan)
+	}
+
+	// A non-robust campaign renders no policy line (and needs no v2).
+	plain, err := ParseManifest([]byte(`{"nodes": 4, "duration": "10s", "kinds": ["harvest"],
+		"campaign": {"name": "x", "targets": [{"candidate": {"kind": "harvest"}}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := plain.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(pp, "policy:") {
+		t.Fatalf("policy line rendered for a policy-less campaign:\n%s", pp)
+	}
+
+	// Tolerate-down phrasing: 0 (halt on first) and N (tolerate N).
+	halting := strings.Replace(robustManifest, `"tolerate_down": -1`, `"tolerate_down": 0`, 1)
+	hm, err := ParseManifest([]byte(halting))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := hm.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hp, "halt on first down node") {
+		t.Fatalf("plan missing halt phrasing:\n%s", hp)
+	}
+	bounded := strings.Replace(robustManifest, `"tolerate_down": -1`, `"tolerate_down": 2`, 1)
+	bm, err := ParseManifest([]byte(bounded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := bm.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bp, "tolerate 2 down") {
+		t.Fatalf("plan missing bounded-tolerance phrasing:\n%s", bp)
 	}
 }
 

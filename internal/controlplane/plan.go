@@ -65,6 +65,17 @@ func (m *Manifest) Plan() (string, error) {
 		fmt.Fprintf(&b, ", %d shard(s)", m.Shards)
 	}
 	b.WriteString("\n")
+	if camp.robust() {
+		tolerate := "halt on first down node"
+		switch {
+		case camp.TolerateDown < 0:
+			tolerate = "tolerate any down"
+		case camp.TolerateDown > 0:
+			tolerate = fmt.Sprintf("tolerate %d down", camp.TolerateDown)
+		}
+		fmt.Fprintf(&b, "policy: quorum %g%%, max soak extends %d, deploy retries %d, %s\n",
+			camp.quorum()*100, camp.MaxSoakExtends, camp.DeployRetries, tolerate)
+	}
 	for _, tg := range camp.Targets {
 		if tg.closureKind != "" {
 			return "", fmt.Errorf("controlplane: closure target %q cannot be planned (no serializable params)", tg.closureKind)

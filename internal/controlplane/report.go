@@ -12,35 +12,46 @@ import (
 // Wave-trace actions, in the vocabulary an operator reads: a cohort
 // slice converts to the candidate, a soaked wave passes or fails its
 // gate, a failed gate rolls the whole cohort back, and a passed final
-// wave completes the campaign.
+// wave completes the campaign. Under lifecycle faults two more
+// appear: a gate abstains (extends the soak) when too few cohort
+// nodes report to make quorum, and the campaign halts when more
+// converted nodes are down than the tolerate-down policy allows.
 const (
 	ActionConvert  = "convert"
 	ActionPass     = "pass"
 	ActionFail     = "fail"
 	ActionRollback = "rollback"
 	ActionComplete = "complete"
+	ActionAbstain  = "abstain"
+	ActionHalt     = "halt"
 )
 
-// WaveEvent is one entry of a campaign's wave trace.
+// WaveEvent is one entry of a campaign's wave trace. It is plain
+// comparable data (== is exact) and serializes to JSON — the campaign
+// journal records one WaveEvent per line, and resume verifies the
+// re-simulated decisions against the recorded ones with ==.
 type WaveEvent struct {
 	// Epoch is the lockstep epoch at which the event occurred; 0 is
 	// the virtual start instant, before any time passed.
-	Epoch int
+	Epoch int `json:"epoch"`
 	// At is the elapsed virtual time at the event.
-	At time.Duration
+	At time.Duration `json:"at"`
 	// Wave is the 1-based wave the event belongs to.
-	Wave int
+	Wave int `json:"wave"`
 	// Action is one of the Action* constants.
-	Action string
-	// Converted is the converted cohort size (nodes) after the event.
-	Converted int
-	// Health is the judged cohort health (pass/fail/complete events).
-	Health CohortHealth
-	// Reason describes the tripped gate check (fail events).
-	Reason string
+	Action string `json:"action"`
+	// Converted is the targeted cohort size (nodes) after the event —
+	// nodes the campaign has tried (or is retrying) to convert.
+	Converted int `json:"converted"`
+	// Health is the judged cohort health (pass/fail/complete/abstain/
+	// halt events).
+	Health CohortHealth `json:"health"`
+	// Reason describes the tripped gate check (fail/halt events) or
+	// the missing quorum (abstain events).
+	Reason string `json:"reason,omitempty"`
 	// Class is the failure condition the gate tripped on
-	// (fail/rollback events).
-	Class taxonomy.FailureClass
+	// (fail/rollback/halt events).
+	Class taxonomy.FailureClass `json:"class,omitempty"`
 }
 
 // Report is the outcome of one control-plane run: the wave trace and
@@ -62,10 +73,13 @@ type Report struct {
 	Waves []float64
 	Trace []WaveEvent
 	// Completed means every wave passed its gate; RolledBack means a
-	// gate failed and the cohort was reverted to baseline. At most one
-	// is true; both false means the horizon ended mid-campaign.
+	// gate failed and the cohort was reverted to baseline; Halted
+	// means the tolerate-down policy stopped the campaign with the
+	// cohort frozen in place. At most one is true; all false means the
+	// horizon ended mid-campaign.
 	Completed  bool
 	RolledBack bool
+	Halted     bool
 	// Failure names the §3.2 failure condition a failed gate tripped
 	// on, FailureWave the wave it tripped at, and FailureReason the
 	// tripped check.
@@ -73,10 +87,17 @@ type Report struct {
 	FailureWave   int
 	FailureReason string
 	// MaxConverted is the largest cohort (nodes) the candidate ever
-	// held — the campaign's blast radius. Converted is the cohort at
-	// the horizon (0 after a rollback).
+	// held — the campaign's blast radius. Converted is the cohort
+	// actually running the candidate at the horizon (0 after a
+	// rollback). Under lifecycle faults it can be smaller than the
+	// targeted cohort: Unconverted counts targeted nodes never
+	// converted (down at deploy, retries exhausted or still pending),
+	// and Stranded counts nodes left on the candidate after a rollback
+	// because the revert could not reach them.
 	MaxConverted int
 	Converted    int
+	Unconverted  int
+	Stranded     int
 
 	// Fleet is the full fleet report at the horizon.
 	Fleet *fleet.Report
@@ -112,16 +133,31 @@ func (r *Report) String() string {
 			detail = fmt.Sprintf("%s [%s] %s", ev.Reason, ev.Class, ev.Health)
 		case ActionRollback:
 			detail = fmt.Sprintf("reverted %d nodes to baseline [%s]", ev.Converted, ev.Class)
+		case ActionAbstain:
+			detail = fmt.Sprintf("%s — soak extended; %s", ev.Reason, ev.Health)
+		case ActionHalt:
+			detail = fmt.Sprintf("%s [%s] %s", ev.Reason, ev.Class, ev.Health)
 		}
 		fmt.Fprintf(&b, "%5d %9s %4d %-8s %6d  %s\n",
 			ev.Epoch, ev.At, ev.Wave, ev.Action, ev.Converted, detail)
 	}
 	switch {
 	case r.Completed:
-		fmt.Fprintf(&b, "outcome: completed — %d/%d nodes on %q\n", r.Converted, r.Nodes, r.Campaign)
+		unreached := ""
+		if r.Unconverted > 0 {
+			unreached = fmt.Sprintf(" (%d nodes unreachable)", r.Unconverted)
+		}
+		fmt.Fprintf(&b, "outcome: completed — %d/%d nodes on %q%s\n", r.Converted, r.Nodes, r.Campaign, unreached)
+	case r.Halted:
+		fmt.Fprintf(&b, "outcome: halted at wave %d/%d (cohort frozen: %d/%d nodes on candidate) — %s: %s\n",
+			r.FailureWave, len(r.Waves), r.Converted, r.Nodes, r.Failure, r.FailureReason)
 	case r.RolledBack:
-		fmt.Fprintf(&b, "outcome: rolled back at wave %d/%d (max cohort %d/%d nodes) — %s: %s\n",
-			r.FailureWave, len(r.Waves), r.MaxConverted, r.Nodes, r.Failure, r.Failure.Describe())
+		stranded := ""
+		if r.Stranded > 0 {
+			stranded = fmt.Sprintf(", %d stranded", r.Stranded)
+		}
+		fmt.Fprintf(&b, "outcome: rolled back at wave %d/%d (max cohort %d/%d nodes%s) — %s: %s\n",
+			r.FailureWave, len(r.Waves), r.MaxConverted, r.Nodes, stranded, r.Failure, r.Failure.Describe())
 	default:
 		wave := 0
 		if n := len(r.Trace); n > 0 {

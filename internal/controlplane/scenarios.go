@@ -38,11 +38,32 @@ const (
 	// scheduling-delay failure class — while SOL's decoupled actuators
 	// keep every node safe and deadline-compliant through the storm.
 	ScenarioFaultStorm = "fault-storm"
+	// ScenarioCrashStorm rolls out the sane candidate while 20% of the
+	// fleet crashes mid-campaign (wave 3's soak). The robustness policy
+	// carries it through: the quorum gate extends the soak instead of
+	// judging a cohort it cannot see, deploy retries absorb nodes that
+	// are down at a conversion barrier, and the blameless candidate
+	// completes on the nodes that survive instead of being falsely
+	// rolled back by a fault it did not cause.
+	ScenarioCrashStorm = "crash-storm"
+	// ScenarioCrashStormBad rolls out the botched no-buffer candidate
+	// into the same crash storm, striking during the canary soak. The
+	// quorum gate does not mask real degradation: the surviving
+	// canaries' actuator safeguards still trip the gate and the
+	// campaign rolls back with the same failure class as a fault-free
+	// bad-variant run — crashes change availability, not the verdict.
+	ScenarioCrashStormBad = "crash-storm-bad"
 )
+
+// crashStormSeed salts the scenario seed for the crash scenarios'
+// node selection, so the crashed set and the cohort shuffle are
+// independent draws of the same scenario seed.
+const crashStormSeed = 0xbadc0de
 
 // Scenarios lists the built-in scenario names.
 func Scenarios() []string {
-	return []string{ScenarioHealthy, ScenarioBadVariant, ScenarioFaultStorm}
+	return []string{ScenarioHealthy, ScenarioBadVariant, ScenarioFaultStorm,
+		ScenarioCrashStorm, ScenarioCrashStormBad}
 }
 
 // ScenarioSpec parameterizes a built-in scenario.
@@ -98,8 +119,9 @@ func NewScenario(sc ScenarioSpec) (Config, error) {
 		Seed:       sc.Seed,
 	}
 	var params string
+	var lifecycle faults.NodePlan
 	switch sc.Scenario {
-	case ScenarioHealthy, ScenarioFaultStorm:
+	case ScenarioHealthy, ScenarioFaultStorm, ScenarioCrashStorm:
 		camp.Name = "buffer-3"
 		params = `{"Config": {"SafetyBuffer": 3}}`
 		if sc.Scenario == ScenarioFaultStorm {
@@ -115,7 +137,18 @@ func NewScenario(sc ScenarioSpec) (Config, error) {
 				D:     time.Second,
 			}).ModelDelay
 		}
-	case ScenarioBadVariant:
+		if sc.Scenario == ScenarioCrashStorm {
+			// 20% of the fleet crashes permanently mid-way through wave
+			// 3's soak — off the epoch grid on purpose, so the drivers'
+			// exact-transition stepping is exercised, not just their
+			// epoch boundaries.
+			lifecycle = faults.Crash{
+				At:   time.Duration(2*soak)*interval + interval/2,
+				Frac: 0.2,
+				Seed: sc.Seed ^ crashStormSeed,
+			}
+		}
+	case ScenarioBadVariant, ScenarioCrashStormBad:
 		camp.Name = "no-buffer-harvester"
 		// The fleet calibration note warns that 1 ms sampling lags
 		// bursts by a full epoch and needs the two-core buffer; a
@@ -123,8 +156,29 @@ func NewScenario(sc ScenarioSpec) (Config, error) {
 		// 8:1 under-prediction cost asymmetry puts vCPU wait
 		// straight onto the customer-facing primary VM.
 		params = `{"Config": {"SafetyBuffer": 0, "UnderCost": 1}}`
+		if sc.Scenario == ScenarioCrashStormBad {
+			// The same 20% storm, striking during the canary soak —
+			// the case where a quorum gate must not excuse a genuinely
+			// bad candidate.
+			lifecycle = faults.Crash{
+				At:   interval / 2,
+				Frac: 0.2,
+				Seed: sc.Seed ^ crashStormSeed,
+			}
+		}
 	default:
 		return Config{}, fmt.Errorf("controlplane: unknown scenario %q (have %v)", sc.Scenario, Scenarios())
+	}
+	if lifecycle != nil {
+		// The §5-style degradation policy both crash scenarios run
+		// under: a gate needs to see 90% of its cohort (extending the
+		// soak up to twice when it cannot), deploys blocked by a down
+		// node retry twice with backoff, and any number of converted
+		// nodes may be down without halting the campaign.
+		camp.Quorum = 0.9
+		camp.MaxSoakExtends = 2
+		camp.DeployRetries = 2
+		camp.TolerateDown = -1
 	}
 	camp.Targets = []Target{{
 		Candidate: spec.Agent{
@@ -136,12 +190,13 @@ func NewScenario(sc ScenarioSpec) (Config, error) {
 
 	return Config{
 		Fleet: fleet.Config{
-			Nodes:    sc.Nodes,
-			Duration: sc.Duration,
-			Workers:  sc.Workers,
-			Shards:   sc.Shards,
-			Setup:    fleet.StandardNode(std),
-			Start:    fleet.DefaultStart,
+			Nodes:     sc.Nodes,
+			Duration:  sc.Duration,
+			Workers:   sc.Workers,
+			Shards:    sc.Shards,
+			Setup:     fleet.StandardNode(std),
+			Start:     fleet.DefaultStart,
+			Lifecycle: lifecycle,
 		},
 		Interval: interval,
 		Campaign: camp,

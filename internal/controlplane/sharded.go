@@ -19,38 +19,47 @@ func shardSeed(campaignSeed uint64, s int) uint64 {
 }
 
 // shardCohort is one shard's slice of a cross-shard campaign: its own
-// deterministic node shuffle, conversion watermark, deadline
+// deterministic node shuffle, targeting watermark, deadline
 // bookkeeping, and the shard-local cohort health of the last epoch.
 // During a span it is owned by the shard's goroutine; between spans
 // (fleet aligned) the conductor-side state machine reads and writes
-// it. Each shard canaries locally — every wave converts at least one
+// it. Each shard canaries locally — every wave targets at least one
 // node per shard — so a candidate is exposed to every partition's
 // workload mix from the first wave.
 type shardCohort struct {
-	order     []int // shard's nodes, shuffled; order[:converted] is its cohort
-	converted int
-	prev      map[memberKey]uint64
-	scratch   []fleet.MemberHealth // reused by the per-epoch cohort poll
-	health    CohortHealth         // shard-local cohort health at the last epoch
+	order    []int // shard's nodes, shuffled; order[:targeted] is its cohort
+	targeted int
+	prev     map[memberKey]uint64
+	scratch  []fleet.MemberHealth // reused by the per-epoch cohort poll
+	stepList []int                // reused fault-filtered stepped set
+	health   CohortHealth         // shard-local cohort health at the last epoch
 }
 
 // shardedCampaign executes a Campaign over a sharded fleet: cohorts
 // shuffle and convert per shard, soak observation is shard-local (only
-// converted nodes advance epoch by epoch; the rest of each shard
+// targeted nodes advance epoch by epoch; the rest of each shard
 // free-runs), and the fleet aligns only at gate boundaries, where one
 // shared gate judges the union of the shard healths and a failed gate
-// fans the rollback out shard by shard. The wave machine, verdict, and
-// trace are the shared campaignOutcome — the same state machine the
-// single-barrier engine runs.
+// fans the rollback out shard by shard. The wave machine, verdict,
+// gate policy, and trace are the shared campaignOutcome — the same
+// state machine the single-barrier engine runs.
 type shardedCampaign struct {
 	campaignOutcome
 	co      *fleet.Coordinator
 	targets []compiledTarget
 	kinds   map[string]bool
 	shards  []shardCohort
+	conv    []bool // fleet-wide: node n actually runs the candidate
+	pending []pendingOp
+	soak    int // epochs until the next gate boundary
+	// spanFrom/spanUntil bound the span being launched (elapsed virtual
+	// time); written on the conductor goroutine before each Span, read
+	// by the shards' stepped-set filters during it.
+	spanFrom  time.Duration
+	spanUntil time.Duration
 }
 
-func newShardedCampaign(camp *Campaign, co *fleet.Coordinator) (*shardedCampaign, error) {
+func newShardedCampaign(camp *Campaign, co *fleet.Coordinator, journal *Journal, replay []WaveEvent) (*shardedCampaign, error) {
 	targets, err := camp.compile()
 	if err != nil {
 		return nil, err
@@ -70,22 +79,40 @@ func newShardedCampaign(camp *Campaign, co *fleet.Coordinator) (*shardedCampaign
 		shards[s] = shardCohort{order: order, prev: make(map[memberKey]uint64)}
 	}
 	return &shardedCampaign{
-		campaignOutcome: campaignOutcome{camp: camp},
+		campaignOutcome: campaignOutcome{camp: camp, journal: journal, replay: replay},
 		co:              co,
 		targets:         targets,
 		kinds:           kinds,
 		shards:          shards,
+		conv:            make([]bool, co.Nodes()),
 	}, nil
 }
 
 // stepped is the conductor's per-shard stepped-cell set: the shard's
-// converted cohort, which needs epoch-by-epoch observation while it
-// soaks. Unconverted nodes free-run to the next alignment.
+// targeted cohort, which needs epoch-by-epoch observation while it
+// soaks. Unconverted nodes free-run to the next alignment. Under a
+// lifecycle plan, down nodes with no transition scheduled inside the
+// span are excluded too: their state is constant, so the per-epoch
+// poll can read them safely while their clocks free-run — exactly the
+// instants the classic engine would read. Down nodes that do
+// transition mid-span stay stepped so the change lands on the shared
+// epoch grid.
 //
 //sollint:hotpath
 func (s *shardedCampaign) stepped(sh int) []int {
 	c := &s.shards[sh]
-	return c.order[:c.converted]
+	base := c.order[:c.targeted]
+	if !s.co.HasLifecycle() {
+		return base
+	}
+	c.stepList = c.stepList[:0]
+	for _, n := range base {
+		if s.co.NodeDown(n) && !s.co.NodeTransitions(n, s.spanFrom, s.spanUntil) {
+			continue
+		}
+		c.stepList = append(c.stepList, n)
+	}
+	return c.stepList
 }
 
 // onEpoch is the shard-local soak observer: at every shard epoch it
@@ -97,73 +124,141 @@ func (s *shardedCampaign) stepped(sh int) []int {
 //sollint:hotpath
 func (s *shardedCampaign) onEpoch(sh, _ int, _, step time.Duration) {
 	c := &s.shards[sh]
-	c.health = cohortHealthOver(s.co, s.kinds, c.order[:c.converted], c.prev, step, &c.scratch)
+	c.health = cohortHealthOver(s.co, s.kinds, c.order[:c.targeted], s.conv, c.prev, step, &c.scratch)
 }
 
-// convertNextWave converts the next wave's slice in every shard and
-// advances the wave counter. Each shard converts the ceiling of the
+// tryDeploy deploys to a node of shard sh if it is up, or defers the
+// deploy into the pending retry queue (when DeployRetries allows) if
+// it is down.
+func (s *shardedCampaign) tryDeploy(sh, node int, revert bool, epoch int) error {
+	if s.co.NodeDown(node) {
+		if s.camp.DeployRetries > 0 {
+			s.pending = append(s.pending, pendingOp{node: node, sh: sh, revert: revert, next: epoch + 1})
+		}
+		return nil
+	}
+	if err := deployTargets(s.co, s.targets, s.shards[sh].prev, node, revert); err != nil {
+		return err
+	}
+	s.conv[node] = !revert
+	return nil
+}
+
+// processPending retries deferred deploys due at epoch — the same
+// backoff schedule as the classic engine, with each deploy resetting
+// its own shard's deadline bookkeeping.
+func (s *shardedCampaign) processPending(epoch int) error {
+	keep := s.pending[:0]
+	for _, p := range s.pending {
+		if epoch < p.next {
+			keep = append(keep, p)
+			continue
+		}
+		if s.co.NodeDown(p.node) {
+			p.attempts++
+			if p.attempts < s.camp.DeployRetries {
+				p.next = epoch + (1 << p.attempts)
+				keep = append(keep, p)
+			}
+			continue
+		}
+		if err := deployTargets(s.co, s.targets, s.shards[p.sh].prev, p.node, p.revert); err != nil {
+			return err
+		}
+		s.conv[p.node] = !p.revert
+	}
+	s.pending = keep
+	return nil
+}
+
+// convertNextWave targets the next wave's slice in every shard and
+// advances the wave counter. Each shard targets the ceiling of the
 // wave fraction over its own node count (at least one node), in its
-// own shuffle order.
+// own shuffle order; down nodes defer into the retry queue.
 func (s *shardedCampaign) convertNextWave(epoch int) error {
 	frac := s.camp.Waves[s.wave]
 	total := 0
 	for sh := range s.shards {
 		c := &s.shards[sh]
 		target := cohortSize(frac, len(c.order))
-		for i := c.converted; i < target; i++ {
-			if err := deployTargets(s.co, s.targets, c.prev, c.order[i], false); err != nil {
+		for i := c.targeted; i < target; i++ {
+			if err := s.tryDeploy(sh, c.order[i], false, epoch); err != nil {
 				return err
 			}
 		}
-		c.converted = target
+		c.targeted = target
 		total += target
 	}
+	s.soak = s.camp.SoakEpochs
 	s.beginWave(epoch, s.co.Elapsed(), total)
-	return nil
+	return s.journalErr()
 }
 
-// judge runs at a gate boundary with the fleet aligned: the shard
-// healths from the soak's final epoch are summed into the union cohort
-// health, the shared gate judges it, and the campaign advances,
-// completes, or rolls back — exactly the single-barrier state machine
-// (campaignOutcome), lifted onto per-shard evidence, with a failed
-// gate's rollback fanned out shard by shard.
+// targetedTotal sums the shards' targeting watermarks.
+func (s *shardedCampaign) targetedTotal() int {
+	n := 0
+	for sh := range s.shards {
+		n += s.shards[sh].targeted
+	}
+	return n
+}
+
+// judge runs at a gate boundary with the fleet aligned: deferred
+// deploys that are due retry first (as the classic engine does at its
+// decision epochs), then the shard healths from the soak's final epoch
+// are summed into the union cohort health and the shared judgeGate
+// policy decides — advance, extend the soak, halt, or fan the rollback
+// out shard by shard.
 func (s *shardedCampaign) judge(epoch int) error {
+	if err := s.processPending(epoch); err != nil {
+		return err
+	}
 	var h CohortHealth
 	for sh := range s.shards {
 		h.add(s.shards[sh].health)
 	}
 	at := s.co.Elapsed()
-	res := s.camp.Gate.Check(h)
-	if !res.OK {
-		s.failWave(epoch, at, h, res)
+	dec, res := s.judgeGate(epoch, at, h)
+	switch dec {
+	case gateExtend:
+		s.soak = 1
+	case gateHalt:
+		s.pending = s.pending[:0]
+	case gateRollback:
+		s.pending = s.pending[:0] // conversions no longer wanted
 		for sh := range s.shards {
 			c := &s.shards[sh]
-			for i := 0; i < c.converted; i++ {
-				if err := deployTargets(s.co, s.targets, c.prev, c.order[i], true); err != nil {
+			for i := 0; i < c.targeted; i++ {
+				n := c.order[i]
+				if !s.conv[n] {
+					continue
+				}
+				if err := s.tryDeploy(sh, n, true, epoch); err != nil {
 					return err
 				}
 			}
-			c.converted = 0
 		}
 		s.finishRollback(epoch, at, res)
-		return nil
+	case gateAdvance:
+		if !s.done {
+			return s.convertNextWave(epoch)
+		}
 	}
-	if s.passWave(epoch, at, h) {
-		return nil
-	}
-	return s.convertNextWave(epoch)
+	return s.journalErr()
 }
 
 // runSharded executes one control-plane run on the sharded conductor.
 // The schedule is span-based: while a wave soaks, each shard steps its
-// converted nodes at cfg.Interval (shard-local observation) and
+// targeted nodes at cfg.Interval (shard-local observation) and
 // free-runs the rest; the fleet aligns only at gate boundaries — every
-// SoakEpochs epochs while the campaign is live — and once the campaign
-// completes or rolls back, everything free-runs to the horizon in a
-// single span. The epoch grid (including the final truncated epoch)
-// matches the single-barrier Drive exactly, so a one-shard run
-// reproduces the classic engine's trace byte for byte.
+// SoakEpochs epochs while the campaign is live, every epoch while a
+// quorum abstention has the soak extended — and once the campaign
+// settles, the remainder free-runs (in single epochs while deferred
+// rollback deploys are still retrying, matching the classic engine's
+// per-epoch retry grid, then in one span). The epoch grid (including
+// the final truncated epoch) matches the single-barrier Drive exactly,
+// so a one-shard run reproduces the classic engine's trace byte for
+// byte — with or without a lifecycle fault plan.
 func runSharded(cfg Config) (*Report, error) {
 	co, err := fleet.NewCoordinator(cfg.Fleet)
 	if err != nil {
@@ -179,11 +274,14 @@ func runSharded(cfg Config) (*Report, error) {
 	}
 	if cfg.Campaign == nil {
 		co.StepFor(horizon)
+		if err := co.LifecycleErr(); err != nil {
+			return nil, err
+		}
 		rep.Fleet = co.Report()
 		return rep, nil
 	}
 
-	st, err := newShardedCampaign(cfg.Campaign, co)
+	st, err := newShardedCampaign(cfg.Campaign, co, cfg.Journal, cfg.Replay)
 	if err != nil {
 		return nil, err
 	}
@@ -200,8 +298,9 @@ func runSharded(cfg Config) (*Report, error) {
 	}
 
 	K := shard.Epochs(horizon, interval)
-	for epoch := 0; epoch < K && !st.done; {
-		gate := epoch + st.camp.SoakEpochs
+	epoch := 0
+	for epoch < K && !st.done {
+		gate := epoch + st.soak
 		judge := gate <= K
 		if !judge {
 			// The horizon ends mid-soak: run the remaining epochs
@@ -209,8 +308,10 @@ func runSharded(cfg Config) (*Report, error) {
 			// but there is no boundary left to judge at.
 			gate = K
 		}
+		st.spanFrom = shard.EpochTime(epoch, horizon, interval)
+		st.spanUntil = shard.EpochTime(gate, horizon, interval)
 		err := co.Span(shard.Span{
-			Until:    shard.EpochTime(gate, horizon, interval),
+			Until:    st.spanUntil,
 			Interval: interval,
 			Stepped:  st.stepped,
 			OnEpoch:  st.onEpoch,
@@ -225,12 +326,28 @@ func runSharded(cfg Config) (*Report, error) {
 			}
 		}
 	}
-	// Campaign settled (or horizon mid-campaign): free-run the rest.
+	// Campaign settled (or horizon mid-campaign): single epochs while
+	// deferred deploys drain on the classic engine's retry grid, then
+	// free-run the rest.
+	for ; epoch < K && len(st.pending) > 0; epoch++ {
+		if err := co.Span(shard.Span{Until: shard.EpochTime(epoch+1, horizon, interval)}); err != nil {
+			return nil, err
+		}
+		if err := st.processPending(epoch + 1); err != nil {
+			return nil, err
+		}
+	}
 	if remaining := horizon - co.Elapsed(); remaining > 0 {
-		co.StepFor(remaining)
+		if err := co.Span(shard.Span{Until: horizon}); err != nil {
+			return nil, err
+		}
 	}
 
+	if err := st.replayDone(); err != nil {
+		return nil, err
+	}
 	st.fill(rep)
+	st.fillConverted(rep, st.conv, st.targetedTotal())
 	rep.Fleet = co.Report()
 	return rep, nil
 }

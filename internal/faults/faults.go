@@ -8,6 +8,7 @@ package faults
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sol/internal/stats"
@@ -18,6 +19,13 @@ import (
 // changes (§3.2 "Bad input data"). Corruptions alternate between
 // negative garbage and values far above the physical maximum, both of
 // which range validation must catch.
+//
+// Corrupt must be called from a single goroutine (or the injection
+// seam's own serialization): the RNG stream is deliberately
+// sequential so injections are deterministic. Injected, however, is
+// safe to call concurrently — experiment harnesses poll it from the
+// real-clock driver while the injector runs, so the counter is
+// atomic.
 type BadData struct {
 	// Probability is the chance each reading is corrupted.
 	Probability float64
@@ -26,7 +34,7 @@ type BadData struct {
 	Max float64
 
 	rng  *stats.RNG
-	hits uint64
+	hits atomic.Uint64
 }
 
 // NewBadData returns an injector corrupting readings with probability p
@@ -40,15 +48,16 @@ func (b *BadData) Corrupt(v float64) (float64, bool) {
 	if !b.rng.Bool(b.Probability) {
 		return v, false
 	}
-	b.hits++
+	b.hits.Add(1)
 	if b.rng.Bool(0.5) {
 		return -1 - b.rng.Float64()*b.Max, true
 	}
 	return b.Max * (2 + 8*b.rng.Float64()), true
 }
 
-// Injected returns how many readings were corrupted.
-func (b *BadData) Injected() uint64 { return b.hits }
+// Injected returns how many readings were corrupted. Safe to call
+// concurrently with Corrupt.
+func (b *BadData) Injected() uint64 { return b.hits.Load() }
 
 // Delay injects scheduling delays into the SOL model loop. Its
 // ModelDelay method matches the core.Options.ModelDelay hook. Delays
@@ -112,11 +121,13 @@ func (p *PeriodicDelay) ModelDelay(t time.Time) time.Duration {
 
 // ScanFault makes a fraction of memory access-bit scans fail with a
 // driver error, for the SmartMemory data-validation experiments.
+// Like BadData: Fault is single-goroutine (sequential RNG stream),
+// Injected is safe to poll concurrently.
 type ScanFault struct {
 	Probability float64
 	rng         *stats.RNG
 	err         error
-	hits        uint64
+	hits        atomic.Uint64
 }
 
 // NewScanFault returns an injector failing scans with probability p.
@@ -127,11 +138,12 @@ func NewScanFault(p float64, err error, seed uint64) *ScanFault {
 // Fault implements the memsim scan-fault hook signature.
 func (s *ScanFault) Fault(region int) error {
 	if s.rng.Bool(s.Probability) {
-		s.hits++
+		s.hits.Add(1)
 		return s.err
 	}
 	return nil
 }
 
-// Injected returns how many scans were failed.
-func (s *ScanFault) Injected() uint64 { return s.hits }
+// Injected returns how many scans were failed. Safe to call
+// concurrently with Fault.
+func (s *ScanFault) Injected() uint64 { return s.hits.Load() }

@@ -1,0 +1,241 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// walkPlan replays node's lifecycle over [0, horizon] via Next,
+// checking that State is constant between consecutive transition
+// instants — the contract fleet drivers rely on to pause free-running
+// clocks exactly at each change.
+func walkPlan(t *testing.T, p NodePlan, node int, horizon time.Duration) []time.Duration {
+	t.Helper()
+	var transitions []time.Duration
+	at := time.Duration(0)
+	for {
+		next, ok := p.Next(node, at)
+		if !ok || next > horizon {
+			break
+		}
+		if next <= at {
+			t.Fatalf("Next(%d, %v) = %v, not strictly after", node, at, next)
+		}
+		// State must not change strictly inside (at, next).
+		st := p.State(node, at)
+		for _, probe := range []time.Duration{at + 1, (at + next) / 2, next - 1} {
+			if probe <= at || probe >= next {
+				continue
+			}
+			if got := p.State(node, probe); got != st {
+				t.Fatalf("state changed at %v (%s -> %s) with no transition scheduled between %v and %v",
+					probe, st, got, at, next)
+			}
+		}
+		transitions = append(transitions, next)
+		at = next
+	}
+	return transitions
+}
+
+func TestCrashPlan(t *testing.T) {
+	c := Crash{At: 10 * time.Second, Frac: 1, Seed: 7}
+	if got := c.State(3, 9*time.Second); got != NodeUp {
+		t.Fatalf("state before crash = %s", got)
+	}
+	if got := c.State(3, 10*time.Second); got != NodeDown {
+		t.Fatalf("state at crash instant = %s, want down (inclusive)", got)
+	}
+	if got := c.State(3, time.Hour); got != NodeDown {
+		t.Fatalf("crash is permanent; state = %s", got)
+	}
+	tr := walkPlan(t, c, 3, time.Minute)
+	if len(tr) != 1 || tr[0] != 10*time.Second {
+		t.Fatalf("transitions = %v, want [10s]", tr)
+	}
+	// Next at the crash instant itself: nothing further.
+	if _, ok := c.Next(3, 10*time.Second); ok {
+		t.Fatal("Next after the crash instant should report no transition")
+	}
+}
+
+func TestCrashFractionAndWindow(t *testing.T) {
+	c := Crash{At: time.Second, Frac: 0.2, Seed: 42}
+	const n = 10000
+	down := 0
+	for node := 0; node < n; node++ {
+		if c.State(node, time.Minute) == NodeDown {
+			down++
+		}
+	}
+	frac := float64(down) / n
+	if frac < 0.17 || frac > 0.23 {
+		t.Fatalf("crash fraction = %v, want ~0.2", frac)
+	}
+	// A windowed crash never selects outside [Lo, Hi).
+	w := Crash{At: time.Second, Frac: 1, Seed: 42, Lo: 10, Hi: 20}
+	for node := 0; node < 40; node++ {
+		want := node >= 10 && node < 20
+		if got := w.State(node, time.Minute) == NodeDown; got != want {
+			t.Fatalf("node %d: windowed crash down = %v, want %v", node, got, want)
+		}
+		if _, ok := w.Next(node, 0); ok != want {
+			t.Fatalf("node %d: windowed crash Next ok = %v, want %v", node, ok, want)
+		}
+	}
+}
+
+func TestFlapPlan(t *testing.T) {
+	f := Flap{Start: 10 * time.Second, Down: 3 * time.Second, Period: 10 * time.Second, Cycles: 2, Frac: 1}
+	type probe struct {
+		at   time.Duration
+		want NodeState
+	}
+	for _, p := range []probe{
+		{0, NodeUp},
+		{10 * time.Second, NodeDown}, // cycle 0 down window opens
+		{12 * time.Second, NodeDown}, // still inside [10, 13)
+		{13 * time.Second, NodeUp},   // back up
+		{20 * time.Second, NodeDown}, // cycle 1
+		{23 * time.Second, NodeUp},   //
+		{30 * time.Second, NodeUp},   // Cycles = 2: no third window
+		{5 * time.Minute, NodeUp},    //
+	} {
+		if got := f.State(0, p.at); got != p.want {
+			t.Fatalf("flap state at %v = %s, want %s", p.at, got, p.want)
+		}
+	}
+	tr := walkPlan(t, f, 0, time.Minute)
+	want := []time.Duration{10 * time.Second, 13 * time.Second, 20 * time.Second, 23 * time.Second}
+	if len(tr) != len(want) {
+		t.Fatalf("transitions = %v, want %v", tr, want)
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", tr, want)
+		}
+	}
+}
+
+func TestFlapUnboundedCycles(t *testing.T) {
+	f := Flap{Start: 0, Down: time.Second, Period: 2 * time.Second, Frac: 1}
+	// Deep into the schedule Next must still answer (and fast): the
+	// implementation computes the containing cycle directly rather
+	// than iterating from zero.
+	next, ok := f.Next(0, time.Hour)
+	if !ok || next != time.Hour+time.Second {
+		t.Fatalf("Next(1h) = %v, %v; want 1h1s (up transition of the containing cycle)", next, ok)
+	}
+	if f.State(0, time.Hour) != NodeDown {
+		t.Fatal("cycle start should be down")
+	}
+}
+
+func TestBlackoutPlan(t *testing.T) {
+	b := Blackout{From: 5 * time.Second, Until: 15 * time.Second, Frac: 1}
+	if b.State(0, 4*time.Second) != NodeUp {
+		t.Fatal("dark before window")
+	}
+	if b.State(0, 5*time.Second) != NodeDark {
+		t.Fatal("window start should be inclusive")
+	}
+	if b.State(0, 15*time.Second) != NodeUp {
+		t.Fatal("window end should be exclusive")
+	}
+	tr := walkPlan(t, b, 0, time.Minute)
+	if len(tr) != 2 || tr[0] != 5*time.Second || tr[1] != 15*time.Second {
+		t.Fatalf("transitions = %v, want [5s 15s]", tr)
+	}
+}
+
+// TestMergedPlan checks the Plan combinator: severity is the max of
+// the members (a blackout underneath a crash is still down) and Next
+// is the earliest any member schedules.
+func TestMergedPlan(t *testing.T) {
+	p := Plan{
+		Blackout{From: 5 * time.Second, Until: 30 * time.Second, Frac: 1},
+		Crash{At: 10 * time.Second, Frac: 1},
+	}
+	for _, tc := range []struct {
+		at   time.Duration
+		want NodeState
+	}{
+		{0, NodeUp},
+		{5 * time.Second, NodeDark},
+		{10 * time.Second, NodeDown}, // down beats dark
+		{40 * time.Second, NodeDown}, // crash outlives the blackout
+	} {
+		if got := p.State(0, tc.at); got != tc.want {
+			t.Fatalf("merged state at %v = %s, want %s", tc.at, got, tc.want)
+		}
+	}
+	next, ok := p.Next(0, 0)
+	if !ok || next != 5*time.Second {
+		t.Fatalf("merged Next(0) = %v, %v; want the blackout's 5s", next, ok)
+	}
+	// The blackout's 30s up-edge is scheduled even though the merged
+	// state stays down — drivers apply transitions idempotently.
+	next, ok = p.Next(0, 10*time.Second)
+	if !ok || next != 30*time.Second {
+		t.Fatalf("merged Next(10s) = %v, %v; want 30s", next, ok)
+	}
+}
+
+// TestPlanDeterministicSelection: selection is a pure function of
+// (seed, node), independent of query order or time.
+func TestPlanDeterministicSelection(t *testing.T) {
+	a := Crash{At: time.Second, Frac: 0.5, Seed: 99}
+	b := Crash{At: time.Second, Frac: 0.5, Seed: 99}
+	for node := 100 - 1; node >= 0; node-- { // reversed order on purpose
+		if a.State(node, time.Minute) != b.State(node, time.Minute) {
+			t.Fatalf("node %d: selection differs between identical plans", node)
+		}
+	}
+	c := Crash{At: time.Second, Frac: 0.5, Seed: 100}
+	same := 0
+	for node := 0; node < 1000; node++ {
+		if a.State(node, time.Minute) == c.State(node, time.Minute) {
+			same++
+		}
+	}
+	if same > 990 {
+		t.Fatalf("different seeds select nearly identical sets (%d/1000 agree)", same)
+	}
+}
+
+// TestInjectedConcurrent hammers the taxonomy injectors' hit counters
+// from many goroutines — run under -race this is the regression test
+// for the atomic counters. Corrupt/Fault themselves are documented
+// single-goroutine (sequential RNG), so each goroutine gets its own
+// injector and only Injected() is read across goroutines.
+func TestInjectedConcurrent(t *testing.T) {
+	b := NewBadData(1, 100, 1)
+	s := NewScanFault(1, errors.New("scan failed"), 1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent readers of the counters
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = b.Injected()
+				_ = s.Injected()
+			}
+		}
+	}()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		b.Corrupt(50)
+		_ = s.Fault(i)
+	}
+	close(stop)
+	wg.Wait()
+	if b.Injected() != n || s.Injected() != n {
+		t.Fatalf("Injected = %d, %d; want %d each", b.Injected(), s.Injected(), n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"sol/internal/clock"
 	"sol/internal/core"
+	"sol/internal/faults"
 	"sol/internal/shard"
 )
 
@@ -41,6 +42,15 @@ type Config struct {
 	// Start is the virtual start time; the zero value means the
 	// repository-wide 2022-01-01 epoch.
 	Start time.Time
+	// Lifecycle, when non-nil, schedules node-level crash/restart/
+	// blackout faults over the horizon (see faults.NodePlan; times are
+	// elapsed since Start). Both drivers pause each node's clock at
+	// exactly the plan's transition instants and apply the state there
+	// — crash via Supervisor.Crash, recovery via spec-driven Restart —
+	// so fault runs stay byte-identical across drivers, worker counts,
+	// and shard counts. Nil means no lifecycle faults and costs
+	// nothing.
+	Lifecycle faults.NodePlan
 }
 
 func (c Config) validate() error {
@@ -120,6 +130,14 @@ type Report struct {
 	// Events is the total number of virtual-clock callbacks fired
 	// across all nodes — the discrete-event cost of the simulation.
 	Events uint64
+	// Down and Restarting count nodes whose agent stack was not up at
+	// the end of the horizon (crashed by the lifecycle plan and not
+	// yet, or unsuccessfully, restarted). Restarts totals completed
+	// crash/restart cycles fleet-wide. All zero without a lifecycle
+	// plan.
+	Down       int
+	Restarting int
+	Restarts   int
 	// Kinds aggregates per agent kind.
 	Kinds map[string]*KindStats
 }
@@ -139,6 +157,10 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet: %d nodes, %d agents, %v simulated, %d events\n",
 		r.Nodes, r.Agents, r.Duration, r.Events)
+	if r.Down+r.Restarting+r.Restarts > 0 {
+		fmt.Fprintf(&b, "lifecycle: %d down, %d restarting, %d restarts\n",
+			r.Down, r.Restarting, r.Restarts)
+	}
 	fmt.Fprintf(&b, "%-10s %7s %9s %9s %9s %8s %7s %7s %7s %9s\n",
 		"kind", "agents", "actions", "on-model", "default", "no-pred", "halted", "failing", "mitig", "deadline")
 	for _, k := range r.KindNames() {
@@ -155,10 +177,17 @@ func (r *Report) String() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
+// nodeState is one node's end-of-horizon lifecycle outcome.
+type nodeState struct {
+	life     LifecycleState
+	restarts int
+}
+
 // nodeResult is one node's outcome, collected for deterministic
 // aggregation in index order.
 type nodeResult struct {
 	statuses []MemberStatus
+	state    nodeState
 	events   uint64
 	err      error
 }
@@ -199,14 +228,21 @@ func Run(cfg Config) (*Report, error) {
 
 	var events uint64
 	statuses := make([][]MemberStatus, cfg.Nodes)
+	var states []nodeState
+	if cfg.Lifecycle != nil {
+		states = make([]nodeState, cfg.Nodes)
+	}
 	for i := range results {
 		if err := results[i].err; err != nil {
 			return nil, fmt.Errorf("fleet: node %d: %w", i, err)
 		}
 		events += results[i].events
 		statuses[i] = results[i].statuses
+		if states != nil {
+			states[i] = results[i].state
+		}
 	}
-	return aggregate(cfg.Nodes, cfg.Duration, cfg.start(), events, statuses), nil
+	return aggregate(cfg.Nodes, cfg.Duration, cfg.start(), events, statuses, states), nil
 }
 
 // aggregate merges per-node member snapshots into a fleet report, in
@@ -218,14 +254,31 @@ func Run(cfg Config) (*Report, error) {
 // misreport them as non-compliant). Both the batch driver (Run) and
 // the lockstep driver (Coordinator.Report) reduce through here, so the
 // two views of the same fleet are directly comparable.
-func aggregate(nodes int, dur time.Duration, start time.Time, events uint64, statuses [][]MemberStatus) *Report {
+// states, when non-nil, carries each node's lifecycle outcome: nodes
+// that ended the horizon down or restarting had their members stopped
+// mid-run, so their deadline compliance is not judged (the members'
+// counters are frozen at the crash, and holding a dead node to an
+// actuation floor would blame the variant for the node's death).
+func aggregate(nodes int, dur time.Duration, start time.Time, events uint64, statuses [][]MemberStatus, states []nodeState) *Report {
 	rep := &Report{
 		Nodes:    nodes,
 		Duration: dur,
 		Events:   events,
 		Kinds:    make(map[string]*KindStats),
 	}
-	for _, node := range statuses {
+	for i, node := range statuses {
+		up := true
+		if states != nil {
+			switch states[i].life {
+			case LifecycleDown:
+				rep.Down++
+				up = false
+			case LifecycleRestarting:
+				rep.Restarting++
+				up = false
+			}
+			rep.Restarts += states[i].restarts
+		}
 		for _, st := range node {
 			rep.Agents++
 			ks := rep.Kinds[st.Kind]
@@ -240,7 +293,7 @@ func aggregate(nodes int, dur time.Duration, start time.Time, events uint64, sta
 			if st.ModelFailing {
 				ks.ModelFailing++
 			}
-			if st.MaxActuationDelay > 0 && st.Stats.ActuatorSafeguardTriggers == 0 {
+			if up && st.MaxActuationDelay > 0 && st.Stats.ActuatorSafeguardTriggers == 0 {
 				ks.DeadlineEligible++
 				window := dur
 				if !st.Stats.StartedAt.IsZero() {
@@ -271,10 +324,57 @@ func runNode(cfg Config, idx int) nodeResult {
 	if sup == nil {
 		return nodeResult{err: fmt.Errorf("setup returned no supervisor")}
 	}
-	clk.RunFor(cfg.Duration)
+	if cfg.Lifecycle == nil {
+		clk.RunFor(cfg.Duration)
+	} else if err := runNodeLifecycle(cfg, idx, clk, sup); err != nil {
+		sup.StopAll()
+		return nodeResult{err: err}
+	}
 	// Snapshot before StopAll so end-of-horizon safeguard state is
 	// observed, not post-cleanup state.
 	statuses := sup.Status()
+	state := nodeState{life: sup.Lifecycle(), restarts: sup.Restarts()}
 	sup.StopAll()
-	return nodeResult{statuses: statuses, events: clk.Fired()}
+	return nodeResult{statuses: statuses, state: state, events: clk.Fired()}
+}
+
+// runNodeLifecycle drives one node for cfg.Duration, pausing its clock
+// at exactly the lifecycle plan's transition instants to apply the
+// scheduled state — the same segmentation rule the lockstep
+// Coordinator uses (transitions landing exactly on a boundary belong
+// to the earlier advance), so the two drivers stay byte-identical
+// under faults.
+func runNodeLifecycle(cfg Config, idx int, clk *clock.Virtual, sup *Supervisor) error {
+	var lifeErr error
+	apply := func(at time.Duration) {
+		if cfg.Lifecycle.State(idx, at) == faults.NodeDown {
+			sup.Crash()
+			return
+		}
+		if sup.Lifecycle() != LifecycleUp {
+			if err := sup.Restart(); err != nil && lifeErr == nil {
+				lifeErr = err
+			}
+		}
+	}
+	apply(0)
+	now, target := time.Duration(0), cfg.Duration
+	for {
+		next, ok := cfg.Lifecycle.Next(idx, now)
+		if !ok || next > target {
+			break
+		}
+		if next > now {
+			clk.RunFor(next - now)
+		}
+		now = next
+		apply(now)
+	}
+	if target > now {
+		clk.RunFor(target - now)
+	}
+	if lifeErr != nil {
+		return lifeErr
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sol/internal/clock"
+	"sol/internal/faults"
 	"sol/internal/shard"
 )
 
@@ -36,6 +37,17 @@ type Coordinator struct {
 	nodes   []steppedNode
 	con     *shard.Conductor
 	stopped bool
+
+	// Lifecycle-fault machinery, all nil/unused when cfg.Lifecycle is
+	// nil. start caches cfg.start() for the hot advance path; dark[i]
+	// tracks whether node i is currently observability-dark (written
+	// only by that node's advancing worker, read only with the node
+	// quiescent); lifeErrs collects per-node restart failures, surfaced
+	// by Span and Drive at the next alignment.
+	start    time.Time
+	plan     faults.NodePlan
+	dark     []bool
+	lifeErrs []error
 }
 
 type steppedNode struct {
@@ -53,7 +65,12 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &Coordinator{cfg: cfg, nodes: make([]steppedNode, cfg.Nodes)}
+	c := &Coordinator{cfg: cfg, nodes: make([]steppedNode, cfg.Nodes), start: cfg.start()}
+	if cfg.Lifecycle != nil {
+		c.plan = cfg.Lifecycle
+		c.dark = make([]bool, cfg.Nodes)
+		c.lifeErrs = make([]error, cfg.Nodes)
+	}
 	errs := make([]error, cfg.Nodes)
 	c.forEachNode(func(idx int) {
 		clk := clock.NewVirtualSingle(cfg.start())
@@ -73,11 +90,16 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("fleet: node %d: %w", idx, err)
 		}
 	}
+	if c.plan != nil {
+		// Apply the plan's initial state (a Crash at 0 downs its nodes
+		// before any time passes), exactly as the batch driver does.
+		c.forEachNode(func(idx int) { c.applyState(idx, 0) })
+	}
 	con, err := shard.New(shard.Config{
 		Cells:   cfg.Nodes,
 		Shards:  cfg.Shards,
 		Workers: cfg.Workers,
-		Advance: func(cell int, d time.Duration) { c.nodes[cell].clk.RunFor(d) },
+		Advance: c.advanceCell,
 	})
 	if err != nil {
 		c.StopAll()
@@ -91,6 +113,113 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 // pool and waits for all to finish — a fleet-wide barrier.
 func (c *Coordinator) forEachNode(fn func(idx int)) {
 	forEach(len(c.nodes), c.cfg.workers(), fn)
+}
+
+// advanceCell is the conductor's Advance binding: move node cell's
+// clock forward by d. Without a lifecycle plan it is a single RunFor;
+// with one, the advance is segmented at exactly the plan's transition
+// instants (boundary-inclusive: a transition landing on the advance's
+// end is applied by this advance, so every epoch/span slicing sees it
+// at the same instant) and the state is applied at each pause.
+//
+//sollint:hotpath
+func (c *Coordinator) advanceCell(cell int, d time.Duration) {
+	clk := c.nodes[cell].clk
+	if c.plan == nil {
+		clk.RunFor(d)
+		return
+	}
+	now := clk.Now().Sub(c.start)
+	target := now + d
+	for {
+		next, ok := c.plan.Next(cell, now)
+		if !ok || next > target {
+			break
+		}
+		if next > now {
+			clk.RunFor(next - now)
+		}
+		now = next
+		c.applyState(cell, now)
+	}
+	if target > now {
+		clk.RunFor(target - now)
+	}
+}
+
+// applyState applies the lifecycle plan's state for cell at elapsed
+// time at: crash a node scheduled down, restart a down node scheduled
+// up again, record the dark flag. Restart failures are remembered
+// per-node and surfaced at the next alignment; the transition itself
+// is idempotent, so merged plans naming spurious instants are
+// harmless.
+//
+//sollint:hotpath
+func (c *Coordinator) applyState(cell int, at time.Duration) {
+	sup := c.nodes[cell].sup
+	st := c.plan.State(cell, at)
+	c.dark[cell] = st == faults.NodeDark
+	if st == faults.NodeDown {
+		sup.Crash()
+		return
+	}
+	if sup.Lifecycle() != LifecycleUp {
+		if err := sup.Restart(); err != nil && c.lifeErrs[cell] == nil {
+			c.lifeErrs[cell] = err
+		}
+	}
+}
+
+// HasLifecycle reports whether a lifecycle fault plan is configured —
+// the cheap guard that lets fault-aware callers keep their fault-free
+// fast paths allocation- and branch-identical to before.
+//
+//sollint:hotpath
+func (c *Coordinator) HasLifecycle() bool { return c.plan != nil }
+
+// NodeDown reports whether node idx's agent stack is currently not up
+// (crashed and not yet successfully restarted). Down nodes cannot be
+// observed or redeployed; the control plane skips them and judges the
+// cohort by quorum.
+//
+//sollint:hotpath
+func (c *Coordinator) NodeDown(idx int) bool {
+	return c.plan != nil && c.nodes[idx].sup.Lifecycle() != LifecycleUp
+}
+
+// NodeDark reports whether node idx is currently observability-dark:
+// its agents run but health reports are unavailable. Only read with
+// the node quiescent (at a barrier, or from its shard's OnEpoch).
+//
+//sollint:hotpath
+func (c *Coordinator) NodeDark(idx int) bool { return c.plan != nil && c.dark[idx] }
+
+// NodeTransitions reports whether the lifecycle plan schedules any
+// state change for node idx in (from, until] — the criterion for
+// whether a down node must still be stepped through a span (its state
+// may change mid-span) or can be skipped entirely (constant state, so
+// reading it mid-span is safe even while its clock free-runs).
+//
+//sollint:hotpath
+func (c *Coordinator) NodeTransitions(idx int, from, until time.Duration) bool {
+	if c.plan == nil {
+		return false
+	}
+	next, ok := c.plan.Next(idx, from)
+	return ok && next <= until
+}
+
+// LifecycleErr returns the first node's recorded restart failure, if
+// any — set when a spec-driven Restart failed. Span and Drive check it
+// automatically; callers using StepFor directly under a lifecycle plan
+// should poll it.
+func (c *Coordinator) LifecycleErr() error {
+	for idx, err := range c.lifeErrs {
+		if err != nil {
+			return fmt.Errorf("fleet: node %d: %w", idx, err)
+		}
+	}
+	return nil
 }
 
 // Nodes returns the fleet size.
@@ -150,7 +279,10 @@ func (c *Coordinator) Span(sp shard.Span) error {
 	if c.stopped {
 		return nil
 	}
-	return c.con.Run(sp)
+	if err := c.con.Run(sp); err != nil {
+		return err
+	}
+	return c.LifecycleErr()
 }
 
 // Drive advances the fleet from the current barrier to horizon in
@@ -169,6 +301,9 @@ func (c *Coordinator) Drive(horizon, interval time.Duration, observe func(epoch 
 			step = remaining
 		}
 		c.StepFor(step)
+		if err := c.LifecycleErr(); err != nil {
+			return err
+		}
 		if observe != nil {
 			if err := observe(epoch, step); err != nil {
 				return err
@@ -182,10 +317,18 @@ func (c *Coordinator) Drive(horizon, interval time.Duration, observe func(epoch 
 // reports a finished batch fleet; Duration is the time stepped so far.
 func (c *Coordinator) Report() *Report {
 	statuses := make([][]MemberStatus, len(c.nodes))
+	var states []nodeState
+	if c.plan != nil {
+		states = make([]nodeState, len(c.nodes))
+	}
 	c.forEachNode(func(idx int) {
-		statuses[idx] = c.nodes[idx].sup.Status()
+		sup := c.nodes[idx].sup
+		statuses[idx] = sup.Status()
+		if states != nil {
+			states[idx] = nodeState{life: sup.Lifecycle(), restarts: sup.Restarts()}
+		}
 	})
-	return aggregate(len(c.nodes), c.Elapsed(), c.cfg.start(), c.Events(), statuses)
+	return aggregate(len(c.nodes), c.Elapsed(), c.cfg.start(), c.Events(), statuses, states)
 }
 
 // StopAll stops every node's supervisor (running each Actuator's

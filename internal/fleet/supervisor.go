@@ -36,6 +36,39 @@ type Member struct {
 	// SOL schedule. The supervisor uses it to report deadline
 	// compliance; zero disables that accounting for the member.
 	MaxActuationDelay time.Duration
+	// Spec, when non-nil, is the declarative agent spec this member
+	// was last launched from — LaunchSpec and ReplaceSpec record it,
+	// closure launches (Attach, Launch, Replace) leave it nil. It is
+	// what a crashed node's spec-driven Restart relaunches; a member
+	// without a spec cannot survive a crash.
+	Spec *spec.Agent
+}
+
+// LifecycleState is a supervisor's node-level availability: the state
+// machine a fault plan's crashes and restarts drive. Up is the normal
+// running state; Down means every member was stopped by Crash (the
+// node watchdog running CleanUp) while the substrates and clock keep
+// advancing; Restarting is the transient (or stuck, after a failed
+// relaunch) state between Crash and a successful Restart.
+type LifecycleState uint8
+
+const (
+	LifecycleUp LifecycleState = iota
+	LifecycleRestarting
+	LifecycleDown
+)
+
+// String renders the state for reports and errors.
+func (s LifecycleState) String() string {
+	switch s {
+	case LifecycleUp:
+		return "up"
+	case LifecycleRestarting:
+		return "restarting"
+	case LifecycleDown:
+		return "down"
+	}
+	return "invalid"
 }
 
 // MemberStatus is a point-in-time snapshot of one member.
@@ -85,11 +118,13 @@ type Supervisor struct {
 	clk clock.Clock
 	n   *node.Node
 
-	mu      sync.Mutex
-	members []Member
-	byName  map[string]int
-	env     spec.NodeEnv
-	stopped bool
+	mu       sync.Mutex
+	members  []Member
+	byName   map[string]int
+	env      spec.NodeEnv
+	stopped  bool
+	life     LifecycleState
+	restarts int
 
 	// replaceMu serializes Replace calls end to end. Replace must drop
 	// mu around the old agent's Stop and the new launch (both run
@@ -195,7 +230,7 @@ func (s *Supervisor) LaunchSpec(name string, a spec.Agent) error {
 	if err != nil {
 		return fmt.Errorf("fleet: launch %s/%s: %w", a.Kind, name, err)
 	}
-	if err := s.Attach(Member{Kind: a.Kind, Name: name, Handle: h, MaxActuationDelay: deadline}); err != nil {
+	if err := s.Attach(Member{Kind: a.Kind, Name: name, Handle: h, MaxActuationDelay: deadline, Spec: &a}); err != nil {
 		h.Stop()
 		return err
 	}
@@ -234,10 +269,24 @@ func (s *Supervisor) ReplaceSpec(name string, a spec.Agent) error {
 	if err != nil {
 		return err
 	}
-	return s.Replace(name, deadline, func(clock.Clock, *node.Node) (core.Handle, error) {
+	if err := s.Replace(name, deadline, func(clock.Clock, *node.Node) (core.Handle, error) {
 		h, _, err := r.Launch(env)
 		return h, err
-	})
+	}); err != nil {
+		return err
+	}
+	s.setSpec(name, &a)
+	return nil
+}
+
+// setSpec records (or clears, with nil) the declarative spec behind
+// the named member, if it still exists.
+func (s *Supervisor) setSpec(name string, a *spec.Agent) {
+	s.mu.Lock()
+	if idx, ok := s.byName[name]; ok {
+		s.members[idx].Spec = a
+	}
+	s.mu.Unlock()
 }
 
 // Members returns a copy of the member list, in attach order.
@@ -351,6 +400,11 @@ func (s *Supervisor) Replace(name string, deadline time.Duration, launch LaunchF
 		s.mu.Unlock()
 		return fmt.Errorf("fleet: supervisor is stopped")
 	}
+	if s.life != LifecycleUp {
+		life := s.life
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: cannot replace %q on a %s node", name, life)
+	}
 	idx, ok := s.byName[name]
 	if !ok {
 		s.mu.Unlock()
@@ -375,8 +429,115 @@ func (s *Supervisor) Replace(name string, deadline time.Duration, launch LaunchF
 	}
 	s.members[idx].Handle = h
 	s.members[idx].MaxActuationDelay = deadline
+	// The closure launch is opaque; whatever spec the member had no
+	// longer describes what is running. ReplaceSpec re-records it.
+	s.members[idx].Spec = nil
 	s.mu.Unlock()
 	return nil
+}
+
+// Crash stops every member in place — the node's agent stack dies, the
+// watchdog runs each Actuator's CleanUp — and marks the node Down. The
+// substrates and the clock keep advancing underneath; that surviving
+// state is what Restart resumes onto. Unlike StopAll this is not
+// terminal: the supervisor refuses Replace while down but accepts a
+// spec-driven Restart. Crashing a stopped or already-down node is a
+// no-op.
+func (s *Supervisor) Crash() {
+	s.replaceMu.Lock()
+	defer s.replaceMu.Unlock()
+	s.mu.Lock()
+	if s.stopped || s.life == LifecycleDown {
+		s.mu.Unlock()
+		return
+	}
+	s.life = LifecycleDown
+	members := make([]Member, len(s.members))
+	copy(members, s.members)
+	s.mu.Unlock()
+	// Stop outside mu (agent code runs), reverse attach order so
+	// dependents stop before their substrates — same order as StopAll.
+	for i := len(members) - 1; i >= 0; i-- {
+		members[i].Handle.Stop()
+	}
+}
+
+// Restart relaunches every member of a Down node from its recorded
+// declarative spec against the node environment, in attach order, and
+// marks the node Up. Members keep their kind, name, and attach
+// position; counters restart from zero (it is a new agent process) but
+// the substrates retain whatever state they reached while the node was
+// down. A member without a recorded spec cannot be relaunched: the
+// node stays Restarting and an error is returned — as it is if any
+// relaunch fails partway, leaving earlier members running.
+func (s *Supervisor) Restart() error {
+	s.replaceMu.Lock()
+	defer s.replaceMu.Unlock()
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: supervisor is stopped")
+	}
+	if s.life == LifecycleUp {
+		s.mu.Unlock()
+		return nil
+	}
+	s.life = LifecycleRestarting
+	members := make([]Member, len(s.members))
+	copy(members, s.members)
+	s.mu.Unlock()
+
+	env := s.Env()
+	for i := range members {
+		m := &members[i]
+		if m.Spec == nil {
+			return fmt.Errorf("fleet: cannot restart %s/%s: not spec-launched", m.Kind, m.Name)
+		}
+		r, err := spec.Resolve(*m.Spec)
+		if err != nil {
+			return fmt.Errorf("fleet: restart %s/%s: %w", m.Kind, m.Name, err)
+		}
+		h, deadline, err := r.Launch(env)
+		if err != nil {
+			return fmt.Errorf("fleet: restart %s/%s: %w", m.Kind, m.Name, err)
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			h.Stop()
+			return fmt.Errorf("fleet: supervisor stopped during restart")
+		}
+		if idx, ok := s.byName[m.Name]; ok {
+			s.members[idx].Handle = h
+			s.members[idx].MaxActuationDelay = deadline
+		}
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	s.life = LifecycleUp
+	s.restarts++
+	s.mu.Unlock()
+	return nil
+}
+
+// Lifecycle returns the node's current availability state.
+//
+//sollint:hotpath
+func (s *Supervisor) Lifecycle() LifecycleState {
+	s.mu.Lock()
+	life := s.life
+	s.mu.Unlock()
+	return life
+}
+
+// Restarts returns how many times the node completed a crash/restart
+// cycle.
+func (s *Supervisor) Restarts() int {
+	s.mu.Lock()
+	n := s.restarts
+	s.mu.Unlock()
+	return n
 }
 
 // StopAll stops every member (running each Actuator's CleanUp) and

@@ -5,11 +5,11 @@
 # numbers here so regressions are diffable across machines and PRs
 # (pair with benchstat for significance testing).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR5.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR7.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR5.json}
+out=${1:-BENCH_PR7.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -20,10 +20,13 @@ go test -run '^$' -benchmem \
 # Fleet benchmarks: whole-system events/s for the batch driver, the
 # lockstep (control-plane) driver, and a full rollout campaign —
 # closure-built and manifest-driven (spec-resolved) side by side, which
-# must be within noise of each other. A few fixed iterations keep the
-# run short; each iteration is already a multi-node simulation.
+# must be within noise of each other, plus the PR-7 robust-policy twin
+# (quorum/retries armed, no faults firing) which must match the plain
+# rollout — fault tolerance is free until a fault happens. A few fixed
+# iterations keep the run short; each iteration is already a multi-node
+# simulation.
 go test -run '^$' -benchmem -benchtime=3x \
-  -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$|BenchmarkFleetStepped64$|BenchmarkRollout32$|BenchmarkRolloutManifest32$' \
+  -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$|BenchmarkFleetStepped64$|BenchmarkRollout32$|BenchmarkRollout32Robust$|BenchmarkRolloutManifest32$' \
   . | tee -a "$tmp"
 # Sharded coordination: the single-barrier coordinator vs the sharded
 # conductor on the same 1k/4k-node canary-observation scenario at equal
