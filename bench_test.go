@@ -272,13 +272,16 @@ func benchSteppedCanary(b *testing.B, nodes int, dur, cadence time.Duration) {
 // benchShardedCanary drives the same fleet, horizon, cohort, and
 // observation cadence on the sharded conductor: each shard steps only
 // its cohort members at the cadence and free-runs its other nodes to
-// the horizon in one visit each.
-func benchShardedCanary(b *testing.B, nodes, shards int, dur, cadence time.Duration) {
+// the horizon in one visit each. profile arms the conductor's
+// self-profiler — the *Profiled twins exist so the bench script can
+// hold the attribution layer to its <= 2% budget.
+func benchShardedCanary(b *testing.B, nodes, shards int, dur, cadence time.Duration, profile bool) {
 	b.Helper()
 	cfg := fleet.Config{
 		Nodes:    nodes,
 		Duration: dur,
 		Shards:   shards,
+		Profile:  profile,
 		Setup:    fleet.StandardNode(fleet.StandardNodeConfig{Seed: 1}),
 	}
 	cohort := benchCohort(nodes)
@@ -324,7 +327,7 @@ func BenchmarkFleet1kStepped(b *testing.B) {
 }
 
 func BenchmarkFleet1kSharded(b *testing.B) {
-	benchShardedCanary(b, 1000, 8, 500*time.Millisecond, 2*time.Millisecond)
+	benchShardedCanary(b, 1000, 8, 500*time.Millisecond, 2*time.Millisecond, false)
 }
 
 // BenchmarkFleet4kStepped / BenchmarkFleet4kSharded: at 4k nodes the
@@ -336,14 +339,23 @@ func BenchmarkFleet4kStepped(b *testing.B) {
 }
 
 func BenchmarkFleet4kSharded(b *testing.B) {
-	benchShardedCanary(b, 4000, 16, 500*time.Millisecond, 2*time.Millisecond)
+	benchShardedCanary(b, 4000, 16, 500*time.Millisecond, 2*time.Millisecond, false)
+}
+
+// BenchmarkFleet4kShardedProfiled is BenchmarkFleet4kSharded with the
+// conductor's self-profiler accumulating per-shard time attribution on
+// every epoch of the 2 ms canary cadence — the worst case for profiler
+// overhead (max samples per simulated second). Must stay within 2% of
+// the unprofiled twin.
+func BenchmarkFleet4kShardedProfiled(b *testing.B) {
+	benchShardedCanary(b, 4000, 16, 500*time.Millisecond, 2*time.Millisecond, true)
 }
 
 // BenchmarkFleet10kSharded is the ROADMAP's north-star feasibility
 // check: a 10k-node, 30k-agent fleet simulated in one process on the
 // sharded conductor, with the canary cohort still observed at 2 ms.
 func BenchmarkFleet10kSharded(b *testing.B) {
-	benchShardedCanary(b, 10000, 32, 250*time.Millisecond, 2*time.Millisecond)
+	benchShardedCanary(b, 10000, 32, 250*time.Millisecond, 2*time.Millisecond, false)
 }
 
 // BenchmarkRollout32Sharded is BenchmarkRollout32 on the sharded
@@ -409,6 +421,45 @@ func BenchmarkRollout32(b *testing.B) {
 	}
 	if !completed {
 		b.Fatal("healthy rollout did not complete")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkRollout32Profiled is BenchmarkRollout32 with the fleet
+// self-profiler on: per-wave profile deltas are snapped at every gate
+// decision and the final report carries the full attribution. At the
+// control plane's coarse 5 s epochs the profiler is consulted a
+// handful of times per simulated second, so this twin must be within
+// 2% (noise) of BenchmarkRollout32.
+func BenchmarkRollout32Profiled(b *testing.B) {
+	cfg, err := controlplane.NewScenario(controlplane.ScenarioSpec{
+		Scenario: controlplane.ScenarioHealthy,
+		Nodes:    32,
+		Duration: 45 * time.Second,
+		Interval: 5 * time.Second,
+		Kinds:    []string{"harvest"},
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Fleet.Profile = true
+	var events uint64
+	completed := true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := controlplane.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.WaveProfiles) == 0 {
+			b.Fatal("profiled rollout recorded no wave profiles")
+		}
+		events += rep.Fleet.Events
+		completed = completed && rep.Completed
+	}
+	if !completed {
+		b.Fatal("profiled healthy rollout did not complete")
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }

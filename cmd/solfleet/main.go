@@ -19,17 +19,54 @@
 //	solfleet -agents overclock,harvest,memory,sampler -nodes 250
 //	solfleet -workers 4 -seed 9 -detail
 //	solfleet -nodes 10000 -duration 5s -shards 16
+//
+// -profile attributes the run's wall time per shard (stepping,
+// free-running, align observers, barrier wait — see internal/obs) and
+// adds profile: lines to the report; with -shards it also enables
+// -tune, which consumes the finished profile to propose per-shard
+// worker allotments for the next run (the one sanctioned profile
+// feedback — worker widths never change simulation output). -metrics
+// writes the full report (+profile) as versioned JSON for BENCH and CI
+// to consume.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"sol/internal/fleet"
 )
+
+// metricsVersion versions the -metrics envelope; the embedded fleet
+// report carries its own wire version besides.
+const metricsVersion = 1
+
+// metricsOut is the -metrics export: a versioned envelope around the
+// report so CI can validate the schema before trusting the numbers.
+type metricsOut struct {
+	Schema     string        `json:"schema"`
+	Version    int           `json:"version"`
+	Tool       string        `json:"tool"`
+	ElapsedNS  int64         `json:"elapsed_ns"`
+	EventsPerS float64       `json:"events_per_s"`
+	Report     *fleet.Report `json:"report"`
+}
+
+func writeMetrics(path string, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		log.Fatalf("solfleet: -metrics %s: %v", path, err)
+	}
+	fmt.Printf("metrics written to %s\n", path)
+}
 
 func main() {
 	var (
@@ -43,6 +80,12 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "fleet-wide workload seed")
 		regions = flag.Int("regions", 128, "tiered-memory regions per node (memory agent)")
 		detail  = flag.Bool("detail", false, "print full aggregated runtime counters per kind")
+		profile = flag.Bool("profile", false,
+			"attribute wall time per shard (step/free/align/wait) and add profile: lines to the report")
+		tune = flag.Bool("tune", false,
+			"with -profile -shards: propose busy-time-proportional per-shard worker allotments from the finished profile")
+		metrics = flag.String("metrics", "",
+			"write the report (+profile) as versioned JSON to this file")
 	)
 	flag.Parse()
 
@@ -62,11 +105,17 @@ func main() {
 	if *shards < 0 {
 		log.Fatalf("solfleet: -shards = %d, must be >= 0", *shards)
 	}
+	if *tune && (!*profile || *shards < 1) {
+		// Tuning consumes a per-shard profile; the batch driver has no
+		// shards to rebalance and an unprofiled run has no evidence.
+		log.Fatalf("solfleet: -tune needs -profile and -shards >= 1")
+	}
 	cfg := fleet.Config{
 		Nodes:    *nodes,
 		Duration: *duration,
 		Workers:  *workers,
 		Shards:   *shards,
+		Profile:  *profile,
 		Setup: fleet.StandardNode(fleet.StandardNodeConfig{
 			Kinds:      kinds,
 			Seed:       *seed,
@@ -82,9 +131,9 @@ func main() {
 		*nodes, len(kinds), strings.Join(kinds, ", "), *duration, shardLabel)
 	wall := time.Now()
 	var rep *fleet.Report
+	var co *fleet.Coordinator
 	var err error
 	if *shards > 0 {
-		var co *fleet.Coordinator
 		if co, err = fleet.NewCoordinator(cfg); err == nil {
 			co.StepFor(cfg.Duration)
 			rep = co.Report()
@@ -107,6 +156,26 @@ func main() {
 		simulated.Seconds()/elapsed.Seconds(),
 		float64(rep.Events)/1e6,
 		float64(rep.Events)/1e6/elapsed.Seconds())
+
+	if *tune {
+		// Rebalance runs strictly after the run: the profile's wall
+		// times pick the allotments for a *next* run, never this one.
+		allot, rerr := co.Conductor().Rebalance(rep.Profile)
+		if rerr != nil {
+			log.Fatalf("solfleet: -tune: %v", rerr)
+		}
+		fmt.Printf("tune: proposed per-shard worker allotments %v (busy-time proportional; rerun with these via shard.Conductor.SetAllotments)\n", allot)
+	}
+	if *metrics != "" {
+		writeMetrics(*metrics, metricsOut{
+			Schema:     "sol-metrics",
+			Version:    metricsVersion,
+			Tool:       "solfleet",
+			ElapsedNS:  int64(elapsed),
+			EventsPerS: float64(rep.Events) / elapsed.Seconds(),
+			Report:     rep,
+		})
+	}
 
 	if *detail {
 		for _, kind := range rep.KindNames() {

@@ -54,6 +54,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -66,6 +67,22 @@ import (
 	"sol/internal/controlplane"
 	"sol/internal/fleet"
 )
+
+// metricsVersion versions the -metrics envelope; the embedded fleet
+// report carries its own wire version besides.
+const metricsVersion = 1
+
+// metricsOut is the -metrics export: a versioned envelope around the
+// full campaign report (trace, verdict, wave profiles, fleet report)
+// so CI can validate the schema before trusting the numbers.
+type metricsOut struct {
+	Schema     string               `json:"schema"`
+	Version    int                  `json:"version"`
+	Tool       string               `json:"tool"`
+	ElapsedNS  int64                `json:"elapsed_ns"`
+	EventsPerS float64              `json:"events_per_s"`
+	Report     *controlplane.Report `json:"report"`
+}
 
 func main() {
 	var (
@@ -94,6 +111,10 @@ func main() {
 			"continue a killed campaign from -journal instead of starting fresh")
 		killAfter = flag.Int("kill-after", 0,
 			"exit with status 3 once -journal holds this many decisions (CI crash injection; 0 = never)")
+		profile = flag.Bool("profile", false,
+			"attribute wall time per shard and per wave (step/free/align/wait) and add profile lines to the report")
+		metrics = flag.String("metrics", "",
+			"write the campaign report (+profiles) as versioned JSON to this file")
 	)
 	flag.Parse()
 	switch *expect {
@@ -193,6 +214,11 @@ func main() {
 			log.Fatalf("solrollout: %v", err)
 		}
 	}
+	// Profiling is excluded from the journal fingerprint for the same
+	// reason workers are: it never shapes campaign decisions, so a
+	// journal recorded without -profile resumes fine with it (and vice
+	// versa) — wall-time attribution is diagnostics, not state.
+	cfg.Fleet.Profile = *profile
 	if *journal != "" && cfg.Campaign == nil {
 		log.Fatalf("solrollout: -journal needs a campaign, and this configuration has none")
 	}
@@ -248,6 +274,25 @@ func main() {
 		simulated.Seconds()/elapsed.Seconds(),
 		float64(rep.Fleet.Events)/1e6,
 		float64(rep.Fleet.Events)/1e6/elapsed.Seconds())
+
+	if *metrics != "" {
+		out := metricsOut{
+			Schema:     "sol-metrics",
+			Version:    metricsVersion,
+			Tool:       "solrollout",
+			ElapsedNS:  int64(elapsed),
+			EventsPerS: float64(rep.Fleet.Events) / elapsed.Seconds(),
+			Report:     rep,
+		}
+		b, merr := json.MarshalIndent(out, "", "  ")
+		if merr == nil {
+			merr = os.WriteFile(*metrics, append(b, '\n'), 0o644)
+		}
+		if merr != nil {
+			log.Fatalf("solrollout: -metrics %s: %v", *metrics, merr)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
 
 	switch {
 	case *expect == "complete" && !rep.Completed:

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sol/internal/fleet"
+	"sol/internal/obs"
 	"sol/internal/stats"
 	"sol/internal/taxonomy"
 )
@@ -120,6 +121,30 @@ type campaignOutcome struct {
 	replay   []WaveEvent
 	replayed int
 	jerr     error
+
+	// Wave-profile recording (Report.WaveProfiles), populated only when
+	// the fleet runs with Config.Fleet.Profile. Profiles ride beside
+	// the trace, never in it: WaveEvent stays plain comparable data for
+	// the journal's == verification, and wall times could never replay
+	// byte-identically anyway.
+	waveProfiles []WaveProfile
+	lastProf     *obs.Profile
+}
+
+// recordWaveProfile snapshots the fleet profiler at a settled wave
+// decision (pass/complete/rollback/halt) and appends the delta since
+// the previous settlement as the wave's profile. No-op when profiling
+// is off. Runs with the fleet aligned — the only instant a profiler
+// snapshot is coherent.
+func (o *campaignOutcome) recordWaveProfile(co *fleet.Coordinator, epoch int) {
+	if !co.Profiling() {
+		return
+	}
+	cur := co.Profile()
+	o.waveProfiles = append(o.waveProfiles, WaveProfile{
+		Wave: o.wave, Epoch: epoch, Profile: *obs.Delta(cur, o.lastProf),
+	})
+	o.lastProf = cur
 }
 
 // emit is the single choke point every wave event passes through.
@@ -305,6 +330,7 @@ func (o *campaignOutcome) fill(rep *Report) {
 	rep.FailureReason = o.reason
 	rep.MaxConverted = o.maxConverted
 	rep.Converted = o.converted
+	rep.WaveProfiles = o.waveProfiles
 }
 
 // fillConverted reconciles the report's cohort accounting with what
@@ -515,6 +541,9 @@ func (s *campaignState) observe(epoch int, step time.Duration) error {
 	}
 	at := s.co.Elapsed()
 	dec, res := s.judgeGate(epoch, at, h)
+	if dec != gateExtend {
+		s.recordWaveProfile(s.co, epoch)
+	}
 	switch dec {
 	case gateExtend:
 		s.soak = 1

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sol/internal/fleet"
+	"sol/internal/obs"
 	"sol/internal/taxonomy"
 )
 
@@ -54,38 +55,53 @@ type WaveEvent struct {
 	Class taxonomy.FailureClass `json:"class,omitempty"`
 }
 
+// WaveProfile is the conductor's wall-time attribution over one
+// judged wave: the profile delta between the wave's settling decision
+// (pass, complete, rollback, or halt — soak extensions do not settle)
+// and the previous one. Like every profile, its counts are
+// deterministic and its wall-time fields are diagnostic only.
+type WaveProfile struct {
+	// Wave is the 1-based wave the profile covers; Epoch is the gate
+	// boundary at which it settled.
+	Wave  int `json:"wave"`
+	Epoch int `json:"epoch"`
+	// Profile is the per-shard attribution of just this wave's stretch.
+	Profile obs.Profile `json:"profile"`
+}
+
 // Report is the outcome of one control-plane run: the wave trace and
 // campaign verdict (when a campaign ran) plus the final fleet report
-// at the horizon.
+// at the horizon. The json tags define the -metrics export shape; the
+// embedded fleet.Report carries its own wire version.
 type Report struct {
-	Nodes    int
-	Interval time.Duration
+	Nodes    int           `json:"nodes"`
+	Interval time.Duration `json:"interval_ns"`
 	// Shards is the coordination partition count of a sharded run; 0
 	// for the classic single-barrier engine. A one-shard sharded run
 	// renders identically to the classic engine — the two differ only
 	// in coordination structure, never in outcome.
-	Shards int
+	Shards int `json:"shards,omitempty"`
 
 	// Campaign fields; Campaign is empty for a plain lockstep run.
-	Campaign string
+	Campaign string `json:"campaign,omitempty"`
 	// Kinds are the campaign's target kinds, in target order.
-	Kinds []string
-	Waves []float64
-	Trace []WaveEvent
+	Kinds []string    `json:"kinds,omitempty"`
+	Waves []float64   `json:"waves,omitempty"`
+	Trace []WaveEvent `json:"trace,omitempty"`
 	// Completed means every wave passed its gate; RolledBack means a
 	// gate failed and the cohort was reverted to baseline; Halted
 	// means the tolerate-down policy stopped the campaign with the
 	// cohort frozen in place. At most one is true; all false means the
 	// horizon ended mid-campaign.
-	Completed  bool
-	RolledBack bool
-	Halted     bool
+	Completed  bool `json:"completed,omitempty"`
+	RolledBack bool `json:"rolled_back,omitempty"`
+	Halted     bool `json:"halted,omitempty"`
 	// Failure names the §3.2 failure condition a failed gate tripped
 	// on, FailureWave the wave it tripped at, and FailureReason the
 	// tripped check.
-	Failure       taxonomy.FailureClass
-	FailureWave   int
-	FailureReason string
+	Failure       taxonomy.FailureClass `json:"failure,omitempty"`
+	FailureWave   int                   `json:"failure_wave,omitempty"`
+	FailureReason string                `json:"failure_reason,omitempty"`
 	// MaxConverted is the largest cohort (nodes) the candidate ever
 	// held — the campaign's blast radius. Converted is the cohort
 	// actually running the candidate at the horizon (0 after a
@@ -94,13 +110,18 @@ type Report struct {
 	// converted (down at deploy, retries exhausted or still pending),
 	// and Stranded counts nodes left on the candidate after a rollback
 	// because the revert could not reach them.
-	MaxConverted int
-	Converted    int
-	Unconverted  int
-	Stranded     int
+	MaxConverted int `json:"max_converted,omitempty"`
+	Converted    int `json:"converted,omitempty"`
+	Unconverted  int `json:"unconverted,omitempty"`
+	Stranded     int `json:"stranded,omitempty"`
+
+	// WaveProfiles attributes the run's wall time wave by wave when the
+	// fleet ran with Config.Fleet.Profile; empty otherwise. Both
+	// engines record one entry per settled wave.
+	WaveProfiles []WaveProfile `json:"wave_profiles,omitempty"`
 
 	// Fleet is the full fleet report at the horizon.
-	Fleet *fleet.Report
+	Fleet *fleet.Report `json:"fleet"`
 }
 
 // String renders the wave trace and verdict, then the fleet report.
@@ -140,6 +161,10 @@ func (r *Report) String() string {
 		}
 		fmt.Fprintf(&b, "%5d %9s %4d %-8s %6d  %s\n",
 			ev.Epoch, ev.At, ev.Wave, ev.Action, ev.Converted, detail)
+	}
+	for i := range r.WaveProfiles {
+		wp := &r.WaveProfiles[i]
+		fmt.Fprintf(&b, "profile wave %d (epoch %d): %s\n", wp.Wave, wp.Epoch, wp.Profile.Summary())
 	}
 	switch {
 	case r.Completed:

@@ -219,6 +219,9 @@ func (s *shardedCampaign) judge(epoch int) error {
 	}
 	at := s.co.Elapsed()
 	dec, res := s.judgeGate(epoch, at, h)
+	if dec != gateExtend {
+		s.recordWaveProfile(s.co, epoch)
+	}
 	switch dec {
 	case gateExtend:
 		s.soak = 1

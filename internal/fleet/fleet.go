@@ -11,6 +11,7 @@ import (
 	"sol/internal/clock"
 	"sol/internal/core"
 	"sol/internal/faults"
+	"sol/internal/obs"
 	"sol/internal/shard"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	// and shard counts. Nil means no lifecycle faults and costs
 	// nothing.
 	Lifecycle faults.NodePlan
+	// Profile enables self-profiling: the run's wall time is attributed
+	// per shard into stepping / free-run / align / barrier-wait (see
+	// internal/obs) and published as Report.Profile. Diagnostic only —
+	// a profiled run produces byte-identical simulation output to an
+	// unprofiled one; when off, the hot path pays a single nil check.
+	Profile bool
 }
 
 func (c Config) validate() error {
@@ -140,6 +147,11 @@ type Report struct {
 	Restarts   int
 	// Kinds aggregates per agent kind.
 	Kinds map[string]*KindStats
+	// Profile is the run's per-shard wall-time attribution when
+	// Config.Profile was set; nil otherwise (and then no profile: lines
+	// render). Its counts are deterministic, its wall-time fields are
+	// diagnostic only — see internal/obs for the split.
+	Profile *obs.Profile
 }
 
 // KindNames returns the aggregated kinds, sorted.
@@ -160,6 +172,13 @@ func (r *Report) String() string {
 	if r.Down+r.Restarting+r.Restarts > 0 {
 		fmt.Fprintf(&b, "lifecycle: %d down, %d restarting, %d restarts\n",
 			r.Down, r.Restarting, r.Restarts)
+	}
+	if r.Profile != nil && len(r.Profile.Shards) > 0 {
+		// Line one is deterministic (counts only); line two carries the
+		// wall-clock attribution and names the straggler — diagnostic,
+		// never byte-identity-compared.
+		fmt.Fprintf(&b, "profile: %s\n", r.Profile.CountsLine())
+		fmt.Fprintf(&b, "profile: %s\n", r.Profile.Summary())
 	}
 	fmt.Fprintf(&b, "%-10s %7s %9s %9s %9s %8s %7s %7s %7s %9s\n",
 		"kind", "agents", "actions", "on-model", "default", "no-pred", "halted", "failing", "mitig", "deadline")
@@ -184,11 +203,13 @@ type nodeState struct {
 }
 
 // nodeResult is one node's outcome, collected for deterministic
-// aggregation in index order.
+// aggregation in index order. busyNS is the node's wall simulation
+// time when Config.Profile is set, 0 otherwise.
 type nodeResult struct {
 	statuses []MemberStatus
 	state    nodeState
 	events   uint64
+	busyNS   int64
 	err      error
 }
 
@@ -214,6 +235,10 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	var wall0 int64
+	if cfg.Profile {
+		wall0 = obs.Now()
+	}
 	results := make([]nodeResult, cfg.Nodes)
 	var abort atomic.Bool
 	forEach(cfg.Nodes, cfg.workers(), func(idx int) {
@@ -242,7 +267,34 @@ func Run(cfg Config) (*Report, error) {
 			states[i] = results[i].state
 		}
 	}
-	return aggregate(cfg.Nodes, cfg.Duration, cfg.start(), events, statuses, states), nil
+	rep := aggregate(cfg.Nodes, cfg.Duration, cfg.start(), events, statuses, states)
+	if cfg.Profile {
+		rep.Profile = batchProfile(results, cfg.workers(), obs.Now()-wall0)
+	}
+	return rep, nil
+}
+
+// batchProfile builds the streaming driver's profile: the batch run is
+// one logical shard running one free-run span (each node advances
+// start-to-finish in a single visit), so busy time is the sum of the
+// nodes' wall simulation times — accumulated in node-index order, no
+// atomics — and barrier wait is the pool's idleness: the worker-
+// seconds the pool held minus the worker-seconds the nodes used.
+func batchProfile(results []nodeResult, workers int, wallNS int64) *obs.Profile {
+	var busy int64
+	for i := range results {
+		busy += results[i].busyNS
+	}
+	wait := int64(workers)*wallNS - busy
+	if wait < 0 {
+		wait = 0
+	}
+	return &obs.Profile{Shards: []obs.ShardProfile{{
+		Shard:     0,
+		Counts:    obs.ShardCounts{Spans: 1, FreeAdvances: len(results)},
+		FreeNS:    busy,
+		BarrierNS: wait,
+	}}}
 }
 
 // aggregate merges per-node member snapshots into a fleet report, in
@@ -316,6 +368,10 @@ func aggregate(nodes int, dur time.Duration, start time.Time, events uint64, sta
 // substrate ticks, agent loops, supervision — runs on this worker
 // goroutine, which is exactly the contract NewVirtualSingle requires.
 func runNode(cfg Config, idx int) nodeResult {
+	var t0 int64
+	if cfg.Profile {
+		t0 = obs.Now()
+	}
 	clk := clock.NewVirtualSingle(cfg.start())
 	sup, err := cfg.Setup(idx, clk)
 	if err != nil {
@@ -335,7 +391,11 @@ func runNode(cfg Config, idx int) nodeResult {
 	statuses := sup.Status()
 	state := nodeState{life: sup.Lifecycle(), restarts: sup.Restarts()}
 	sup.StopAll()
-	return nodeResult{statuses: statuses, state: state, events: clk.Fired()}
+	res := nodeResult{statuses: statuses, state: state, events: clk.Fired()}
+	if cfg.Profile {
+		res.busyNS = obs.Now() - t0
+	}
+	return res
 }
 
 // runNodeLifecycle drives one node for cfg.Duration, pausing its clock

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sol/internal/core"
+	"sol/internal/obs"
+)
+
+// ReportVersion is the wire version of Report's JSON encoding. Bump it
+// when a field changes meaning or shape; decoding rejects documents
+// newer than the binary instead of silently misreading them (the same
+// rule the campaign manifest schema follows).
+const ReportVersion = 1
+
+// reportJSON is Report's explicit wire form. Field order is fixed by
+// this declaration (encoding/json emits struct fields in order and
+// sorts map keys), so the same report always marshals to the same
+// bytes — the stability the round-trip fixpoint test pins.
+type reportJSON struct {
+	Version    int                   `json:"version"`
+	Nodes      int                   `json:"nodes"`
+	Agents     int                   `json:"agents"`
+	Duration   time.Duration         `json:"duration_ns"`
+	Events     uint64                `json:"events"`
+	Down       int                   `json:"down,omitempty"`
+	Restarting int                   `json:"restarting,omitempty"`
+	Restarts   int                   `json:"restarts,omitempty"`
+	Kinds      map[string]*KindStats `json:"kinds"`
+	Profile    *obs.Profile          `json:"profile,omitempty"`
+}
+
+// kindStatsJSON is KindStats's wire form. core.Stats marshals with its
+// own (declaration-ordered) field names — it is the repo-wide counter
+// block, shared verbatim with every other consumer.
+type kindStatsJSON struct {
+	Agents           int        `json:"agents"`
+	Halted           int        `json:"halted,omitempty"`
+	ModelFailing     int        `json:"model_failing,omitempty"`
+	DeadlineMet      int        `json:"deadline_met,omitempty"`
+	DeadlineEligible int        `json:"deadline_eligible,omitempty"`
+	Stats            core.Stats `json:"stats"`
+}
+
+// MarshalJSON encodes the report in the versioned wire form.
+func (k *KindStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(kindStatsJSON{
+		Agents:           k.Agents,
+		Halted:           k.Halted,
+		ModelFailing:     k.ModelFailing,
+		DeadlineMet:      k.DeadlineMet,
+		DeadlineEligible: k.DeadlineEligible,
+		Stats:            k.Stats,
+	})
+}
+
+// UnmarshalJSON decodes the wire form back into KindStats.
+func (k *KindStats) UnmarshalJSON(b []byte) error {
+	var kj kindStatsJSON
+	if err := json.Unmarshal(b, &kj); err != nil {
+		return err
+	}
+	*k = KindStats{
+		Agents:           kj.Agents,
+		Halted:           kj.Halted,
+		ModelFailing:     kj.ModelFailing,
+		DeadlineMet:      kj.DeadlineMet,
+		DeadlineEligible: kj.DeadlineEligible,
+		Stats:            kj.Stats,
+	}
+	return nil
+}
+
+// MarshalJSON encodes the report in the versioned wire form: stable
+// field order, durations as integer nanoseconds, kinds as a sorted
+// object. Marshal∘Unmarshal∘Marshal is the identity on the bytes
+// (tested), so exported reports diff cleanly across runs and tools.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		Version:    ReportVersion,
+		Nodes:      r.Nodes,
+		Agents:     r.Agents,
+		Duration:   r.Duration,
+		Events:     r.Events,
+		Down:       r.Down,
+		Restarting: r.Restarting,
+		Restarts:   r.Restarts,
+		Kinds:      r.Kinds,
+		Profile:    r.Profile,
+	})
+}
+
+// UnmarshalJSON decodes a versioned report, rejecting documents with a
+// missing version or one newer than this binary understands.
+func (r *Report) UnmarshalJSON(b []byte) error {
+	var rj reportJSON
+	if err := json.Unmarshal(b, &rj); err != nil {
+		return err
+	}
+	switch {
+	case rj.Version < 1:
+		return fmt.Errorf("fleet: report JSON has no version (or version %d); want 1..%d", rj.Version, ReportVersion)
+	case rj.Version > ReportVersion:
+		return fmt.Errorf("fleet: report JSON is version %d, but this binary understands up to %d — upgrade the binary, not the report", rj.Version, ReportVersion)
+	}
+	*r = Report{
+		Nodes:      rj.Nodes,
+		Agents:     rj.Agents,
+		Duration:   rj.Duration,
+		Events:     rj.Events,
+		Down:       rj.Down,
+		Restarting: rj.Restarting,
+		Restarts:   rj.Restarts,
+		Kinds:      rj.Kinds,
+		Profile:    rj.Profile,
+	}
+	return nil
+}

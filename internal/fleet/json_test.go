@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sol/internal/core"
+	"sol/internal/obs"
+)
+
+// TestReportJSONRoundTripFixpoint pins the wire encoding's stability:
+// marshal∘unmarshal∘marshal is the identity on the bytes, for both a
+// hand-built report exercising every field (lifecycle counters,
+// multiple kinds, a profile) and a real fleet run's report. Stable
+// bytes are what make exported metrics diffable across runs and PRs.
+func TestReportJSONRoundTripFixpoint(t *testing.T) {
+	t.Parallel()
+	hand := &Report{
+		Nodes: 3, Agents: 6, Duration: 45 * time.Second, Events: 120345,
+		Down: 1, Restarting: 1, Restarts: 2,
+		Kinds: map[string]*KindStats{
+			"harvest": {
+				Agents: 3, Halted: 1, ModelFailing: 1, DeadlineMet: 2, DeadlineEligible: 2,
+				Stats: core.Stats{Actions: 900, ActionsOnModel: 700, Mitigations: 4},
+			},
+			"memory": {Agents: 3, Stats: core.Stats{Actions: 12}},
+		},
+		Profile: &obs.Profile{
+			Shards: []obs.ShardProfile{
+				{Shard: 0, Counts: obs.ShardCounts{Spans: 2, Epochs: 5, SteppedAdvances: 10, FreeAdvances: 3},
+					StepNS: 1e6, FreeNS: 2e6, AlignNS: 3e4, BarrierNS: 5e5},
+			},
+			ConductorAlignNS: 7e4,
+		},
+	}
+
+	run, err := Run(Config{
+		Nodes: 4, Duration: 2 * time.Second, Workers: 2, Profile: true,
+		Setup: StandardNode(StandardNodeConfig{Seed: 7}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, rep := range map[string]*Report{"hand-built": hand, "real-run": run} {
+		m1, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var back Report
+		if err := json.Unmarshal(m1, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		m2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", name, err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("%s: JSON round trip is not a fixpoint:\nfirst:  %s\nsecond: %s", name, m1, m2)
+		}
+	}
+
+	// The wire form is versioned and field-ordered: version leads.
+	m, _ := json.Marshal(hand)
+	if !strings.HasPrefix(string(m), fmt.Sprintf(`{"version":%d,"nodes":3,`, ReportVersion)) {
+		t.Fatalf("report JSON does not lead with version/nodes: %.80s", m)
+	}
+}
+
+// TestReportJSONVersionGate pins the decode-side version policy:
+// missing versions and versions newer than the binary are refused with
+// a pointed error, mirroring the campaign-manifest schema rule.
+func TestReportJSONVersionGate(t *testing.T) {
+	t.Parallel()
+	var r Report
+	if err := json.Unmarshal([]byte(`{"nodes":1}`), &r); err == nil {
+		t.Fatal("unversioned report decoded without error")
+	} else if !strings.Contains(err.Error(), "no version") {
+		t.Fatalf("unversioned decode error = %v, want a no-version complaint", err)
+	}
+	newer := fmt.Sprintf(`{"version":%d,"nodes":1}`, ReportVersion+1)
+	if err := json.Unmarshal([]byte(newer), &r); err == nil {
+		t.Fatal("newer-than-binary report decoded without error")
+	} else if !strings.Contains(err.Error(), "upgrade the binary") {
+		t.Fatalf("newer-version decode error = %v, want an upgrade hint", err)
+	}
+	ok := fmt.Sprintf(`{"version":%d,"nodes":2,"agents":4,"duration_ns":1000,"events":9,"kinds":{}}`, ReportVersion)
+	if err := json.Unmarshal([]byte(ok), &r); err != nil {
+		t.Fatalf("current-version decode failed: %v", err)
+	}
+	if r.Nodes != 2 || r.Events != 9 || r.Duration != 1000 {
+		t.Fatalf("decoded report = %+v", r)
+	}
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sol/internal/obs"
+)
+
+// profiledFleetConfig is the shared small fleet for profiling tests.
+func profiledFleetConfig(workers int, profile bool) Config {
+	return Config{
+		Nodes:    12,
+		Duration: 2 * time.Second,
+		Workers:  workers,
+		Shards:   3,
+		Profile:  profile,
+		Setup:    StandardNode(StandardNodeConfig{Seed: 21, Kinds: []string{"harvest", "overclock"}}),
+	}
+}
+
+// stripProfile returns the report's string rendering with the profile
+// detached — the projection the byte-identity contract covers.
+func stripProfile(rep *Report) string {
+	p := rep.Profile
+	rep.Profile = nil
+	s := rep.String()
+	rep.Profile = p
+	return s
+}
+
+// TestProfiledRunOutputIdentical is the no-feedback guarantee: a
+// profiled stepped run produces byte-identical simulation output to an
+// unprofiled run of the same config — wall-time attribution rides
+// beside the report, never inside the simulation.
+func TestProfiledRunOutputIdentical(t *testing.T) {
+	t.Parallel()
+	off, err := RunStepped(profiledFleetConfig(4, false), 250*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := RunStepped(profiledFleetConfig(4, true), 250*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Profile != nil {
+		t.Fatal("unprofiled run carries a profile")
+	}
+	if on.Profile == nil {
+		t.Fatal("profiled run carries no profile")
+	}
+	if got, want := stripProfile(on), off.String(); got != want {
+		t.Fatalf("profiling changed the simulation output:\nprofiled:\n%s\nunprofiled:\n%s", got, want)
+	}
+}
+
+// TestProfileCountsDeterministic pins the determinism split across the
+// axes the contract names: the profile's counts are byte-identical
+// across repeated runs and worker widths (wall times, excluded via
+// Deterministic, are free to differ).
+func TestProfileCountsDeterministic(t *testing.T) {
+	t.Parallel()
+	var dets []*obs.Profile
+	for _, workers := range []int{1, 1, 4, 12} {
+		rep, err := RunStepped(profiledFleetConfig(workers, true), 250*time.Millisecond, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets = append(dets, rep.Profile.Deterministic())
+	}
+	for i, d := range dets[1:] {
+		if !reflect.DeepEqual(d, dets[0]) {
+			t.Errorf("profile counts drifted (run %d):\ngot  %+v\nwant %+v", i+1, d, dets[0])
+		}
+	}
+	// The stepped drive is 8 epochs of fleet-wide spans: every shard
+	// steps all of its 4 nodes every epoch.
+	want := obs.ShardCounts{Spans: 8, FreeAdvances: 32}
+	for s, sp := range dets[0].Shards {
+		if sp.Counts != want {
+			t.Errorf("shard %d counts = %+v, want %+v", s, sp.Counts, want)
+		}
+	}
+}
+
+// TestBatchProfile covers the streaming driver's single-shard profile:
+// one logical span, one free advance per node, busy time accumulated,
+// and the same no-feedback property as the stepped driver.
+func TestBatchProfile(t *testing.T) {
+	t.Parallel()
+	cfg := profiledFleetConfig(4, true)
+	cfg.Shards = 0
+	off := cfg
+	off.Profile = false
+
+	repOff, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repOn, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repOff.Profile != nil {
+		t.Fatal("unprofiled batch run carries a profile")
+	}
+	p := repOn.Profile
+	if p == nil || len(p.Shards) != 1 {
+		t.Fatalf("batch profile = %+v, want one logical shard", p)
+	}
+	want := obs.ShardCounts{Spans: 1, FreeAdvances: cfg.Nodes}
+	if p.Shards[0].Counts != want {
+		t.Errorf("batch counts = %+v, want %+v", p.Shards[0].Counts, want)
+	}
+	if p.Shards[0].FreeNS <= 0 {
+		t.Errorf("batch busy time = %d, want > 0", p.Shards[0].FreeNS)
+	}
+	if p.Shards[0].BarrierNS < 0 {
+		t.Errorf("batch wait = %d, want >= 0", p.Shards[0].BarrierNS)
+	}
+	if got, want := stripProfile(repOn), repOff.String(); got != want {
+		t.Fatalf("profiling changed the batch output:\nprofiled:\n%s\nunprofiled:\n%s", got, want)
+	}
+}

@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"sol/internal/core"
+	"sol/internal/obs"
 )
 
 // TestReportStringGolden pins the operator-facing report table exactly
@@ -55,5 +57,44 @@ func TestReportStringGolden(t *testing.T) {
 		"overclock        1         2         0         0        0       1       0       1       n/a"
 	if got := halted.String(); got != wantHalted {
 		t.Fatalf("halted-kind rendering drifted:\ngot:\n%s\nwant:\n%s", got, wantHalted)
+	}
+}
+
+// TestReportProfileGolden pins the profile: lines exactly — the counts
+// line is deterministic, the summary line is the only place wall-clock
+// strings reach the report, and both vanish when profiling is off (the
+// disabled case renders byte-identically to a never-profiled report).
+func TestReportProfileGolden(t *testing.T) {
+	t.Parallel()
+	rep := &Report{
+		Nodes: 2, Agents: 4, Duration: 30 * time.Second, Events: 500,
+		Kinds: map[string]*KindStats{
+			"harvest": {Agents: 4, Stats: core.Stats{Actions: 40, ActionsOnModel: 40}},
+		},
+		Profile: &obs.Profile{
+			Shards: []obs.ShardProfile{
+				{Shard: 0, Counts: obs.ShardCounts{Spans: 3, Epochs: 10, SteppedAdvances: 20, FreeAdvances: 5},
+					StepNS: 4e6, FreeNS: 2e6, AlignNS: 1e6, BarrierNS: 3e6},
+				{Shard: 1, Counts: obs.ShardCounts{Spans: 3, Epochs: 10, SteppedAdvances: 30, FreeAdvances: 7},
+					StepNS: 8e6, FreeNS: 1e6, AlignNS: 1e6, BarrierNS: 0},
+			},
+			ConductorAlignNS: 5e5,
+		},
+	}
+	want := "fleet: 2 nodes, 4 agents, 30s simulated, 500 events\n" +
+		"profile: 2 shard(s), 3 span(s), 20 epoch(s), 50 stepped + 12 free advances\n" +
+		"profile: step 12ms free 3ms align 2ms wait 3ms conduct 500µs — worst shard 1: busy 10ms, waits 0.0%\n" +
+		"kind        agents   actions  on-model   default  no-pred  halted failing   mitig  deadline\n" +
+		"harvest          4        40        40         0        0       0       0       0       n/a"
+	if got := rep.String(); got != want {
+		t.Fatalf("profiled report rendering drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Profiling off (nil) or degenerate (no shards): no profile: lines.
+	for name, p := range map[string]*obs.Profile{"nil": nil, "empty": {}} {
+		rep.Profile = p
+		if got := rep.String(); strings.Contains(got, "profile:") {
+			t.Fatalf("%s profile still renders profile: lines:\n%s", name, got)
+		}
 	}
 }

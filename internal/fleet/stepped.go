@@ -6,6 +6,7 @@ import (
 
 	"sol/internal/clock"
 	"sol/internal/faults"
+	"sol/internal/obs"
 	"sol/internal/shard"
 )
 
@@ -100,6 +101,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		Shards:  cfg.Shards,
 		Workers: cfg.Workers,
 		Advance: c.advanceCell,
+		Profile: cfg.Profile,
 	})
 	if err != nil {
 		c.StopAll()
@@ -235,6 +237,15 @@ func (c *Coordinator) Shards() int { return c.con.Shards() }
 // calls, never after StopAll.
 func (c *Coordinator) Conductor() *shard.Conductor { return c.con }
 
+// Profiling reports whether the conductor's self-profiler is on
+// (Config.Profile).
+func (c *Coordinator) Profiling() bool { return c.con.Profiling() }
+
+// Profile snapshots the conductor's accumulated per-shard wall-time
+// attribution, or nil when profiling is off. Only call with the fleet
+// quiescent (between spans) — the same contract as Report.
+func (c *Coordinator) Profile() *obs.Profile { return c.con.Profile() }
+
 // Supervisor returns node idx's supervisor, for mid-run observation
 // and member redeployment. Only call with the fleet quiescent (between
 // spans); during a span, a shard's OnEpoch observer may call it for
@@ -328,7 +339,9 @@ func (c *Coordinator) Report() *Report {
 			states[idx] = nodeState{life: sup.Lifecycle(), restarts: sup.Restarts()}
 		}
 	})
-	return aggregate(len(c.nodes), c.Elapsed(), c.cfg.start(), c.Events(), statuses, states)
+	rep := aggregate(len(c.nodes), c.Elapsed(), c.cfg.start(), c.Events(), statuses, states)
+	rep.Profile = c.con.Profile()
+	return rep
 }
 
 // StopAll stops every node's supervisor (running each Actuator's

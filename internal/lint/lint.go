@@ -66,8 +66,9 @@ type Scope struct {
 	SimPrefixes []string
 	// Exempt lists exact import paths excluded from walltime and
 	// seedrand even when a prefix matches: the clock package is the
-	// sanctioned wall-time boundary, and the lint suite itself is
-	// tooling, not simulation.
+	// sanctioned wall-time boundary for simulated time, obs is the
+	// sanctioned boundary for diagnostic (profiling) wall time, and
+	// the lint suite itself is tooling, not simulation.
 	Exempt []string
 	// HygienePaths lists the exact import paths where the int64-ns
 	// convention applies: clockhygiene flags time.Time struct fields
@@ -79,7 +80,7 @@ type Scope struct {
 // consult CurrentScope at run time.
 var DefaultScope = Scope{
 	SimPrefixes:  []string{"sol/internal/"},
-	Exempt:       []string{"sol/internal/clock", "sol/internal/lint"},
+	Exempt:       []string{"sol/internal/clock", "sol/internal/lint", "sol/internal/obs"},
 	HygienePaths: []string{"sol/internal/clock"},
 }
 

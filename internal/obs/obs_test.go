@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProfilerAccumulation drives the profiler through two spans by
+// hand and checks every bucket: counts land exactly where the schedule
+// says, wall times are non-negative and attributed to the right phase,
+// and the barrier wait is the finish-to-EndSpan gap.
+func TestProfilerAccumulation(t *testing.T) {
+	t.Parallel()
+	p := NewProfiler(2)
+	if !p.Enabled() {
+		t.Fatal("NewProfiler returned a disabled profiler")
+	}
+
+	// Span 1: shard 0 free-runs 5 cells; shard 1 steps 2 cells for 3
+	// epochs with an align observer.
+	p.BeginSpan()
+	tok := p.Start()
+	p.RecordFree(0, 5, tok)
+	p.SpanEnd(0)
+	tok = p.Start()
+	for e := 0; e < 3; e++ {
+		tok = p.RecordStep(1, 2, tok)
+		p.RecordAlign(1, tok)
+		tok = p.Start()
+	}
+	p.SpanEnd(1)
+	p.EndSpan()
+
+	// Span 2: both shards free-run.
+	p.BeginSpan()
+	for s := 0; s < 2; s++ {
+		tok = p.Start()
+		p.RecordFree(s, 4, tok)
+		p.SpanEnd(s)
+	}
+	p.EndSpan()
+
+	prof := p.Snapshot()
+	wantCounts := []ShardCounts{
+		{Spans: 2, FreeAdvances: 9},
+		{Spans: 2, Epochs: 3, SteppedAdvances: 6, FreeAdvances: 4},
+	}
+	for s, want := range wantCounts {
+		if got := prof.Shards[s].Counts; got != want {
+			t.Errorf("shard %d counts = %+v, want %+v", s, got, want)
+		}
+	}
+	if prof.Spans() != 2 {
+		t.Errorf("Spans() = %d, want 2", prof.Spans())
+	}
+	for s := range prof.Shards {
+		sp := prof.Shards[s]
+		if sp.StepNS < 0 || sp.FreeNS < 0 || sp.AlignNS < 0 || sp.BarrierNS < 0 {
+			t.Errorf("shard %d has negative wall time: %+v", s, sp)
+		}
+		if sp.WallNS() != sp.BusyNS()+sp.BarrierNS {
+			t.Errorf("shard %d wall != busy + wait", s)
+		}
+	}
+	if prof.Shards[0].StepNS != 0 {
+		t.Errorf("shard 0 never stepped but StepNS = %d", prof.Shards[0].StepNS)
+	}
+	if prof.ConductorAlignNS < 0 {
+		t.Errorf("ConductorAlignNS = %d, want >= 0", prof.ConductorAlignNS)
+	}
+}
+
+// TestProfilerNilSafe proves the disabled profiler (nil) is a complete
+// no-op on every method — the zero-hot-path-cost contract.
+func TestProfilerNilSafe(t *testing.T) {
+	t.Parallel()
+	var p *Profiler
+	if p.Enabled() {
+		t.Fatal("nil profiler reports enabled")
+	}
+	p.BeginSpan()
+	tok := p.Start()
+	if tok != 0 {
+		t.Fatalf("nil Start() = %d, want 0", tok)
+	}
+	if got := p.RecordFree(0, 3, tok); got != 0 {
+		t.Fatalf("nil RecordFree = %d, want 0", got)
+	}
+	if got := p.RecordStep(0, 3, tok); got != 0 {
+		t.Fatalf("nil RecordStep = %d, want 0", got)
+	}
+	p.RecordAlign(0, tok)
+	p.SpanEnd(0)
+	p.EndSpan()
+	if p.Snapshot() != nil {
+		t.Fatal("nil Snapshot() != nil")
+	}
+}
+
+// fixedProfile is a hand-built two-shard profile with round numbers,
+// shared by the arithmetic and rendering tests.
+func fixedProfile() *Profile {
+	return &Profile{
+		Shards: []ShardProfile{
+			{Shard: 0, Counts: ShardCounts{Spans: 3, Epochs: 10, SteppedAdvances: 20, FreeAdvances: 5},
+				StepNS: 4e6, FreeNS: 2e6, AlignNS: 1e6, BarrierNS: 3e6},
+			{Shard: 1, Counts: ShardCounts{Spans: 3, Epochs: 10, SteppedAdvances: 30, FreeAdvances: 7},
+				StepNS: 8e6, FreeNS: 1e6, AlignNS: 1e6, BarrierNS: 0},
+		},
+		ConductorAlignNS: 5e5,
+	}
+}
+
+// TestProfileSummaryGolden pins the diagnostic rendering against fixed
+// values — the only sanctioned way to byte-pin wall-time strings.
+func TestProfileSummaryGolden(t *testing.T) {
+	t.Parallel()
+	p := fixedProfile()
+	wantSummary := "step 12ms free 3ms align 2ms wait 3ms conduct 500µs — worst shard 1: busy 10ms, waits 0.0%"
+	if got := p.Summary(); got != wantSummary {
+		t.Errorf("Summary() = %q, want %q", got, wantSummary)
+	}
+	wantCounts := "2 shard(s), 3 span(s), 20 epoch(s), 50 stepped + 12 free advances"
+	if got := p.CountsLine(); got != wantCounts {
+		t.Errorf("CountsLine() = %q, want %q", got, wantCounts)
+	}
+	if w := p.WorstShard(); w != 1 {
+		t.Errorf("WorstShard() = %d, want 1", w)
+	}
+	if f := p.Shards[0].WaitFrac(); f != 0.3 {
+		t.Errorf("shard 0 WaitFrac() = %v, want 0.3", f)
+	}
+	empty := &Profile{}
+	if got := empty.Summary(); got != "empty" {
+		t.Errorf("empty Summary() = %q", got)
+	}
+}
+
+// TestDelta checks wave-delta arithmetic: cur − prev per shard and on
+// the conductor counter, with nil/mismatched prev degrading to a copy.
+func TestDelta(t *testing.T) {
+	t.Parallel()
+	prev := fixedProfile()
+	cur := fixedProfile()
+	cur.Shards[0].Counts.Epochs += 4
+	cur.Shards[0].StepNS += 7e6
+	cur.Shards[1].BarrierNS += 2e6
+	cur.ConductorAlignNS += 1e6
+
+	d := Delta(cur, prev)
+	if d.Shards[0].Counts.Epochs != 4 || d.Shards[0].StepNS != 7e6 {
+		t.Errorf("shard 0 delta = %+v", d.Shards[0])
+	}
+	if d.Shards[1].BarrierNS != 2e6 || d.Shards[1].StepNS != 0 {
+		t.Errorf("shard 1 delta = %+v", d.Shards[1])
+	}
+	if d.ConductorAlignNS != 1e6 {
+		t.Errorf("conductor delta = %d", d.ConductorAlignNS)
+	}
+	if got := Delta(cur, nil); !reflect.DeepEqual(got, &Profile{Shards: cur.Shards, ConductorAlignNS: cur.ConductorAlignNS}) {
+		t.Error("Delta(cur, nil) is not a copy of cur")
+	}
+	if Delta(nil, prev) != nil {
+		t.Error("Delta(nil, prev) != nil")
+	}
+}
+
+// TestDeterministic checks the byte-identity projection: counts
+// survive, every wall field is zeroed.
+func TestDeterministic(t *testing.T) {
+	t.Parallel()
+	p := fixedProfile()
+	d := p.Deterministic()
+	for s := range d.Shards {
+		if d.Shards[s].Counts != p.Shards[s].Counts {
+			t.Errorf("shard %d counts changed", s)
+		}
+		if d.Shards[s].StepNS|d.Shards[s].FreeNS|d.Shards[s].AlignNS|d.Shards[s].BarrierNS != 0 {
+			t.Errorf("shard %d wall fields not zeroed: %+v", s, d.Shards[s])
+		}
+	}
+	if d.ConductorAlignNS != 0 {
+		t.Errorf("ConductorAlignNS not zeroed")
+	}
+	var nilP *Profile
+	if nilP.Deterministic() != nil {
+		t.Error("nil Deterministic() != nil")
+	}
+}
+
+// TestProposeAllotments pins the between-runs tuning arithmetic:
+// busy-proportional with a one-worker floor, largest-remainder
+// rounding, and the degenerate spreads.
+func TestProposeAllotments(t *testing.T) {
+	t.Parallel()
+	busy := func(ns ...int64) *Profile {
+		p := &Profile{Shards: make([]ShardProfile, len(ns))}
+		for i, b := range ns {
+			p.Shards[i] = ShardProfile{Shard: i, StepNS: b}
+		}
+		return p
+	}
+	cases := []struct {
+		name    string
+		p       *Profile
+		workers int
+		want    []int
+	}{
+		{"proportional", busy(3e6, 1e6), 8, []int{6, 2}},   // spare 6 splits 4.5/1.5; the .5 remainder tie goes low
+		{"floor", busy(0, 100e6), 4, []int{1, 3}},          // idle shard keeps its one worker
+		{"inline", busy(5e6, 5e6, 5e6), 2, []int{1, 1, 1}}, // workers <= shards: all inline
+		{"no-evidence", busy(0, 0, 0), 7, []int{3, 2, 2}},  // zero busy: conductor's even spread
+		{"tie-low-index", busy(1e6, 1e6), 5, []int{3, 2}},  // spare 3: 1.5/1.5, remainder tie → lower index first
+		{"single-shard", busy(9e6), 6, []int{6}},           // whole budget to the only shard
+		{"exact-split", busy(2e6, 2e6, 2e6, 2e6), 8, []int{2, 2, 2, 2}},
+	}
+	for _, tc := range cases {
+		got := ProposeAllotments(tc.p, tc.workers)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: ProposeAllotments(workers=%d) = %v, want %v", tc.name, tc.workers, got, tc.want)
+		}
+		sum := 0
+		for _, w := range got {
+			sum += w
+		}
+		if len(tc.p.Shards) > 0 && tc.workers > len(tc.p.Shards) && sum != tc.workers {
+			t.Errorf("%s: allotments sum %d, want the full budget %d", tc.name, sum, tc.workers)
+		}
+	}
+	if got := ProposeAllotments(&Profile{}, 4); got != nil {
+		t.Errorf("empty profile: ProposeAllotments = %v, want nil", got)
+	}
+}
+
+// TestProfilerRecordAllocs proves the accumulation path allocates
+// nothing per sample with profiling enabled — the //sollint:hotpath
+// contract, guarded here and by the CI alloc step.
+func TestProfilerRecordAllocs(t *testing.T) {
+	p := NewProfiler(4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.BeginSpan()
+		tok := p.Start()
+		tok = p.RecordFree(1, 8, tok)
+		tok = p.RecordStep(2, 3, tok)
+		p.RecordAlign(2, tok)
+		p.SpanEnd(1)
+		p.SpanEnd(2)
+		p.EndSpan()
+	})
+	if allocs != 0 {
+		t.Fatalf("profiler accumulation allocates %v per sample, want 0", allocs)
+	}
+}

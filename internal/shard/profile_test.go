@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sol/internal/obs"
+)
+
+// profiledConfig is a 12-cell, 3-shard conductor with a no-op advance
+// and profiling on.
+func profiledConfig(workers int) Config {
+	return Config{
+		Cells:   12,
+		Shards:  3,
+		Workers: workers,
+		Advance: func(cell int, d time.Duration) {},
+		Profile: true,
+	}
+}
+
+// driveProfiledSchedule runs a fixed two-span schedule: a stepped span
+// (cells 0 and 1 of each shard's range stepped over 3 epochs with an
+// align observer) followed by a pure free-run span.
+func driveProfiledSchedule(t *testing.T, c *Conductor) {
+	t.Helper()
+	err := c.Run(Span{
+		Until:    30 * time.Millisecond,
+		Interval: 10 * time.Millisecond,
+		Stepped: func(s int) []int {
+			lo, _ := c.Cells(s)
+			return []int{lo, lo + 1}
+		},
+		OnEpoch: func(s, epoch int, at, step time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("stepped span: %v", err)
+	}
+	if err := c.Run(Span{Until: 50 * time.Millisecond}); err != nil {
+		t.Fatalf("free span: %v", err)
+	}
+}
+
+// TestConductorProfileCounts pins the deterministic half of the
+// conductor's profile: the phase counts derive purely from the span
+// schedule and the cell partition, so they are exact — and identical
+// across worker widths (the determinism split's byte-identity side).
+func TestConductorProfileCounts(t *testing.T) {
+	t.Parallel()
+	var profiles []*obs.Profile
+	for _, workers := range []int{1, 4, 12} {
+		c, err := New(profiledConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Profiling() {
+			t.Fatal("Config.Profile set but Profiling() is false")
+		}
+		driveProfiledSchedule(t, c)
+		profiles = append(profiles, c.Profile())
+	}
+
+	// Each of 3 shards: span 1 steps 2 cells x 3 epochs and free-runs
+	// its other 2 cells; span 2 free-runs all 4 cells.
+	want := obs.ShardCounts{Spans: 2, Epochs: 3, SteppedAdvances: 6, FreeAdvances: 6}
+	for s, sp := range profiles[0].Shards {
+		if sp.Counts != want {
+			t.Errorf("shard %d counts = %+v, want %+v", s, sp.Counts, want)
+		}
+	}
+	base := profiles[0].Deterministic()
+	for i, p := range profiles[1:] {
+		if !reflect.DeepEqual(p.Deterministic(), base) {
+			t.Errorf("profile counts differ across worker widths (run %d):\ngot  %+v\nwant %+v",
+				i+1, p.Deterministic(), base)
+		}
+	}
+}
+
+// TestConductorProfileDisabled checks the off switch: no profiler, nil
+// profile, and Rebalance refuses for want of evidence.
+func TestConductorProfileDisabled(t *testing.T) {
+	t.Parallel()
+	cfg := profiledConfig(2)
+	cfg.Profile = false
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Profiling() {
+		t.Error("Profiling() true without Config.Profile")
+	}
+	driveProfiledSchedule(t, c)
+	if p := c.Profile(); p != nil {
+		t.Errorf("Profile() = %+v, want nil when disabled", p)
+	}
+	if _, err := c.Rebalance(nil); err == nil {
+		t.Error("Rebalance(nil) succeeded, want error")
+	}
+}
+
+// TestConductorRebalance closes the between-runs tuning loop: a
+// profile with a clear straggler shifts the allotments toward it, the
+// installed allotments drive shardWorkers, and a later run still
+// computes the same schedule (counts unchanged — worker width is
+// unobservable).
+func TestConductorRebalance(t *testing.T) {
+	t.Parallel()
+	c, err := New(profiledConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-built evidence: shard 2 did 6x the busy work of the others.
+	p := &obs.Profile{Shards: []obs.ShardProfile{
+		{Shard: 0, StepNS: 1e6},
+		{Shard: 1, StepNS: 1e6},
+		{Shard: 2, StepNS: 6e6},
+	}}
+	allot, err := c.Rebalance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 5} // 1 floor each + spare 6 shares 0.75/0.75/4.5 → wholes 0,0,4; remainders hand the 2 left to shards 0,1
+	if !reflect.DeepEqual(allot, want) {
+		t.Fatalf("Rebalance allotments = %v, want %v", allot, want)
+	}
+	for s, w := range want {
+		if got := c.shardWorkers(s); got != w {
+			t.Errorf("shardWorkers(%d) = %d, want %d after rebalance", s, got, w)
+		}
+	}
+	// The retuned conductor runs the same schedule to the same counts.
+	driveProfiledSchedule(t, c)
+	wantCounts := obs.ShardCounts{Spans: 2, Epochs: 3, SteppedAdvances: 6, FreeAdvances: 6}
+	for s, sp := range c.Profile().Shards {
+		if sp.Counts != wantCounts {
+			t.Errorf("post-rebalance shard %d counts = %+v, want %+v", s, sp.Counts, wantCounts)
+		}
+	}
+
+	// Malformed inputs are refused.
+	if _, err := c.Rebalance(&obs.Profile{Shards: make([]obs.ShardProfile, 2)}); err == nil {
+		t.Error("Rebalance with wrong shard count succeeded")
+	}
+	if err := c.SetAllotments([]int{1, 0, 1}); err == nil {
+		t.Error("SetAllotments with a zero allotment succeeded")
+	}
+	if err := c.SetAllotments([]int{1, 1}); err == nil {
+		t.Error("SetAllotments with wrong length succeeded")
+	}
+}
+
+// TestProfiledSpanAllocs proves profiling adds zero allocations to a
+// span: the per-span cost with profiling on is clock reads and counter
+// adds only, so a profiled free-run span allocates exactly what an
+// unprofiled one does. Workers 1 keeps ForEach inline so goroutine
+// machinery doesn't muddy the measurement.
+func TestProfiledSpanAllocs(t *testing.T) {
+	measure := func(profile bool) float64 {
+		c, err := New(Config{
+			Cells:   8,
+			Shards:  2,
+			Workers: 1,
+			Advance: func(cell int, d time.Duration) {},
+			Profile: profile,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		until := time.Duration(0)
+		return testing.AllocsPerRun(200, func() {
+			until += time.Millisecond
+			_ = c.Run(Span{Until: until})
+		})
+	}
+	off, on := measure(false), measure(true)
+	if on != off {
+		t.Fatalf("profiled span allocates %v, unprofiled %v — profiling must add 0", on, off)
+	}
+}

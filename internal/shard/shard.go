@@ -30,6 +30,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"sol/internal/obs"
 )
 
 // ForEach runs fn(idx) for every idx in [0, n) on a pool of workers
@@ -85,6 +87,12 @@ type Config struct {
 	// happens-before edges across calls, so cells built on lock-elided
 	// single-driver clocks are safe. Must be non-nil.
 	Advance func(cell int, d time.Duration)
+	// Profile enables the conductor's self-profiler: per-shard wall
+	// time attributed into stepping, free-running, align observers, and
+	// barrier wait (see internal/obs). Diagnostic only — profiling
+	// never changes what the simulation computes, and when off the hot
+	// path pays a single nil check.
+	Profile bool
 }
 
 func (c Config) validate() error {
@@ -161,6 +169,8 @@ type Conductor struct {
 	workers int
 	bounds  []int // len nShards+1; shard s owns cells [bounds[s], bounds[s+1])
 	aligned time.Duration
+	prof    *obs.Profiler // nil when Config.Profile is off
+	allot   []int         // per-shard worker override (SetAllotments); nil = even spread
 }
 
 // New validates cfg and partitions its cells into contiguous shards of
@@ -174,7 +184,53 @@ func New(cfg Config) (*Conductor, error) {
 	for i := 0; i <= s; i++ {
 		c.bounds[i] = i * cfg.Cells / s
 	}
+	if cfg.Profile {
+		c.prof = obs.NewProfiler(s)
+	}
 	return c, nil
+}
+
+// Profiling reports whether the conductor's self-profiler is on.
+func (c *Conductor) Profiling() bool { return c.prof.Enabled() }
+
+// Profile snapshots the accumulated per-shard attribution, or nil when
+// profiling is off. Only call between Run calls (fleet aligned).
+func (c *Conductor) Profile() *obs.Profile { return c.prof.Snapshot() }
+
+// SetAllotments overrides the per-shard worker allotments: a[s]
+// workers drive shard s's cells in the next Run. Every entry must be
+// >= 1 and len(a) must equal the shard count. Worker widths never
+// change what the simulation computes — only how fast — so retuning
+// allotments between runs is determinism-safe by construction.
+func (c *Conductor) SetAllotments(a []int) error {
+	if len(a) != c.nShards {
+		return fmt.Errorf("shard: %d allotments for %d shards", len(a), c.nShards)
+	}
+	for s, w := range a {
+		if w < 1 {
+			return fmt.Errorf("shard: allotment[%d] = %d, must be >= 1", s, w)
+		}
+	}
+	c.allot = append([]int(nil), a...)
+	return nil
+}
+
+// Rebalance consumes a finished run's profile strictly between runs:
+// it proposes per-shard worker allotments proportional to each shard's
+// busy wall time (obs.ProposeAllotments over the conductor's worker
+// budget), installs them for subsequent Runs, and returns the
+// proposal. This is the one sanctioned consumer of wall-clock
+// attribution — worker widths are unobservable in simulation output,
+// so the feedback loop cannot break determinism.
+func (c *Conductor) Rebalance(p *obs.Profile) ([]int, error) {
+	if p == nil || len(p.Shards) != c.nShards {
+		return nil, fmt.Errorf("shard: rebalance needs a %d-shard profile", c.nShards)
+	}
+	a := obs.ProposeAllotments(p, c.workers)
+	if err := c.SetAllotments(a); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // Shards returns the shard count.
@@ -201,11 +257,15 @@ func (c *Conductor) ShardOf(cell int) int {
 // the conductor's current barrier.
 func (c *Conductor) Aligned() time.Duration { return c.aligned }
 
-// shardWorkers returns shard s's worker allotment: the total budget
+// shardWorkers returns shard s's worker allotment: an explicit
+// SetAllotments override if one is installed, else the total budget
 // spread across shards, the first Workers%Shards shards taking one
 // extra. With fewer workers than shards every shard runs inline on its
 // own goroutine (the common fleet-scale case).
 func (c *Conductor) shardWorkers(s int) int {
+	if c.allot != nil {
+		return c.allot[s]
+	}
 	if c.workers <= c.nShards {
 		return 1
 	}
@@ -234,6 +294,13 @@ func (c *Conductor) Run(sp Span) error {
 		return nil
 	}
 	span := sp.Until - c.aligned
+	// Profiling brackets (all nil-safe no-ops when off): the gap since
+	// the previous span's barrier is conductor-align time, each phase
+	// inside a shard is timed on that shard's goroutine, and the span
+	// barrier turns per-shard finish stamps into barrier wait. The
+	// profiler only ever observes the schedule — it never changes it —
+	// so a profiled run computes byte-identical simulation output.
+	c.prof.BeginSpan()
 	ForEach(c.nShards, min(c.workers, c.nShards), func(s int) {
 		lo, hi := c.bounds[s], c.bounds[s+1]
 		w := c.shardWorkers(s)
@@ -243,7 +310,10 @@ func (c *Conductor) Run(sp Span) error {
 		}
 		if len(stepped) == 0 && sp.OnEpoch == nil {
 			// Pure free-run: one visit per cell for the whole span.
+			t := c.prof.Start()
 			ForEach(hi-lo, w, func(i int) { c.cfg.Advance(lo+i, span) })
+			c.prof.RecordFree(s, hi-lo, t)
+			c.prof.SpanEnd(s)
 			return
 		}
 		// Free-run the unobserved cells first, then walk the stepped
@@ -261,7 +331,9 @@ func (c *Conductor) Run(sp Span) error {
 					free = append(free, cell)
 				}
 			}
+			t := c.prof.Start()
 			ForEach(len(free), w, func(i int) { c.cfg.Advance(free[i], span) })
+			c.prof.RecordFree(s, len(free), t)
 		}
 		cur := time.Duration(0)
 		for epoch := 1; cur < span; epoch++ {
@@ -269,13 +341,18 @@ func (c *Conductor) Run(sp Span) error {
 			if rem := span - cur; step > rem {
 				step = rem
 			}
+			t := c.prof.Start()
 			ForEach(len(stepped), w, func(i int) { c.cfg.Advance(stepped[i], step) })
+			t = c.prof.RecordStep(s, len(stepped), t)
 			cur += step
 			if sp.OnEpoch != nil {
 				sp.OnEpoch(s, epoch, c.aligned+cur, step)
+				c.prof.RecordAlign(s, t)
 			}
 		}
+		c.prof.SpanEnd(s)
 	})
+	c.prof.EndSpan()
 	c.aligned = sp.Until
 	return nil
 }

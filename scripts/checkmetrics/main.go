@@ -1,0 +1,81 @@
+// checkmetrics validates -metrics exports in CI: each argument must be
+// a sol-metrics envelope (schema "sol-metrics", version 1) wrapping a
+// versioned report. It checks only the wire contract — schema name,
+// versions, and the fields every export carries — so it stays valid as
+// reports grow fields, and fails loudly the day the contract breaks.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+const (
+	wantSchema  = "sol-metrics"
+	wantVersion = 1
+)
+
+type envelope struct {
+	Schema    string          `json:"schema"`
+	Version   int             `json:"version"`
+	Tool      string          `json:"tool"`
+	ElapsedNS int64           `json:"elapsed_ns"`
+	Report    json.RawMessage `json:"report"`
+}
+
+func check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("envelope does not parse: %w", err)
+	}
+	if env.Schema != wantSchema {
+		return fmt.Errorf("schema %q, want %q", env.Schema, wantSchema)
+	}
+	if env.Version != wantVersion {
+		return fmt.Errorf("envelope version %d, want %d", env.Version, wantVersion)
+	}
+	if env.Tool == "" {
+		return fmt.Errorf("no tool recorded")
+	}
+	if env.ElapsedNS <= 0 {
+		return fmt.Errorf("elapsed_ns = %d, want > 0", env.ElapsedNS)
+	}
+	var report struct {
+		Version int `json:"version"`
+		// The rollout export nests the fleet report one level down; the
+		// fleet export is the fleet report itself, so Fleet stays nil.
+		Fleet *struct {
+			Version int `json:"version"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal(env.Report, &report); err != nil {
+		return fmt.Errorf("report does not parse: %w", err)
+	}
+	fleetVersion := report.Version
+	if report.Fleet != nil {
+		fleetVersion = report.Fleet.Version
+	}
+	if fleetVersion < 1 {
+		return fmt.Errorf("fleet report version %d, want >= 1", fleetVersion)
+	}
+	fmt.Printf("%s: ok (%s, report %d bytes)\n", path, env.Tool, len(env.Report))
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkmetrics file.json ...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "checkmetrics: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}

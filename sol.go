@@ -32,6 +32,7 @@ import (
 
 	"sol/internal/clock"
 	"sol/internal/core"
+	"sol/internal/obs"
 	"sol/internal/shard"
 	"sol/internal/spec"
 
@@ -102,6 +103,15 @@ type (
 	// cells advance epoch by epoch under observation, the rest
 	// free-run to the next alignment.
 	ShardSpan = shard.Span
+
+	// Profile is the conductor's self-profile: per-shard wall-time
+	// attribution (stepping vs free-run vs align vs barrier-wait) with
+	// deterministic counts and diagnostic-only wall fields. Produced by
+	// shard.Conductor.Profile / fleet.Report.Profile when
+	// fleet.Config.Profile (or shard.Config.Profile) is set.
+	Profile = obs.Profile
+	// ShardTimeProfile is one shard's slice of a Profile.
+	ShardTimeProfile = obs.ShardProfile
 )
 
 // Run starts an agent's Model and Actuator control loops on clk
