@@ -75,6 +75,8 @@ const metricsVersion = 1
 // metricsOut is the -metrics export: a versioned envelope around the
 // full campaign report (trace, verdict, wave profiles, fleet report)
 // so CI can validate the schema before trusting the numbers.
+//
+//sollint:wire metricsVersion
 type metricsOut struct {
 	Schema     string               `json:"schema"`
 	Version    int                  `json:"version"`

@@ -39,6 +39,8 @@ import (
 // must clear. A Campaign is plain data — it serializes to JSON, so
 // rollouts can be stored, diffed, and loaded from a manifest
 // (cmd/solrollout -config) by operators who never wrote the agents.
+//
+//sollint:wire ManifestVersion
 type Campaign struct {
 	// Name labels the campaign in traces and reports.
 	Name string `json:"name"`
@@ -141,6 +143,8 @@ func (c *Campaign) UnmarshalJSON(b []byte) error {
 // declarative agent specs resolved on each node's environment — which
 // is what lets a campaign target substrate-backed kinds (memory,
 // sampler) that closure launches never could.
+//
+//sollint:wire ManifestVersion
 type Target struct {
 	// Candidate is the variant being rolled out; its Kind names the
 	// agent kind, and every member of that kind on a converted node is
@@ -153,12 +157,13 @@ type Target struct {
 
 	// Closure adapter (see ClosureTarget): pre-spec campaigns built
 	// launch closures by hand; they keep working, but cannot be
-	// serialized and cannot target substrate-backed kinds.
-	closureKind         string
-	closureCand         func(idx int) fleet.LaunchFunc
-	closureBase         func(idx int) fleet.LaunchFunc
-	closureCandDeadline time.Duration
-	closureBaseDeadline time.Duration
+	// serialized and cannot target substrate-backed kinds. The json:"-"
+	// tags keep the adapter explicitly off the wire.
+	closureKind         string                         `json:"-"`
+	closureCand         func(idx int) fleet.LaunchFunc `json:"-"`
+	closureBase         func(idx int) fleet.LaunchFunc `json:"-"`
+	closureCandDeadline time.Duration                  `json:"-"`
+	closureBaseDeadline time.Duration                  `json:"-"`
 }
 
 // Kind returns the agent kind the target redeploys.
@@ -326,6 +331,12 @@ func cohortSize(frac float64, nodes int) int {
 // converted cohort at one lockstep barrier: live safeguard state,
 // cumulative safeguard and fault counters, and the last epoch's
 // actuation-deadline compliance. This is the evidence a Gate judges.
+//
+// CohortHealth rides in every journaled WaveEvent, where resume
+// compares entries with ==, so its wire shape is guarded by
+// JournalVersion.
+//
+//sollint:wire JournalVersion
 type CohortHealth struct {
 	// Agents is the cohort size in agents (not nodes).
 	Agents int `json:"agents"`
@@ -415,6 +426,8 @@ func (h CohortHealth) String() string {
 // (violations, then deadline compliance), then environmental
 // interference (halts, then cumulative actuator trips). The first
 // check that trips names the campaign's taxonomy.FailureClass.
+//
+//sollint:wire ManifestVersion
 type Gate struct {
 	// MaxRejectedFrac bounds DataRejected/DataCollected.
 	MaxRejectedFrac float64 `json:"max_rejected_frac"`

@@ -27,6 +27,8 @@ const (
 )
 
 // JournalHeader is the first line of a journal file.
+//
+//sollint:wire JournalVersion
 type JournalHeader struct {
 	// Journal is the magic string identifying the file format.
 	Journal string `json:"journal"`
@@ -41,6 +43,8 @@ type JournalHeader struct {
 
 // journalEntry is one event line. Seq is a write counter starting at
 // 0; a gap or repeat marks a corrupt journal.
+//
+//sollint:wire JournalVersion
 type journalEntry struct {
 	Seq   int       `json:"seq"`
 	Event WaveEvent `json:"event"`

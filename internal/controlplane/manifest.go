@@ -23,6 +23,8 @@ import (
 // absent campaign waves/soak/gate default to the canonical plan
 // (DefaultWaves, DefaultSoakEpochs, DefaultGate). Unknown fields are
 // rejected, so typos fail at load, not at the canary.
+//
+//sollint:wire ManifestVersion
 type Manifest struct {
 	// Version is the manifest schema version; 0 (absent) means 1.
 	// Parsing rejects versions newer than ManifestVersion, so a

@@ -30,7 +30,10 @@ const (
 // WaveEvent is one entry of a campaign's wave trace. It is plain
 // comparable data (== is exact) and serializes to JSON — the campaign
 // journal records one WaveEvent per line, and resume verifies the
-// re-simulated decisions against the recorded ones with ==.
+// re-simulated decisions against the recorded ones with ==. Its wire
+// shape is therefore journal format, guarded by JournalVersion.
+//
+//sollint:wire JournalVersion
 type WaveEvent struct {
 	// Epoch is the lockstep epoch at which the event occurred; 0 is
 	// the virtual start instant, before any time passed.
@@ -60,6 +63,8 @@ type WaveEvent struct {
 // (pass, complete, rollback, or halt — soak extensions do not settle)
 // and the previous one. Like every profile, its counts are
 // deterministic and its wall-time fields are diagnostic only.
+//
+//sollint:wire ReportVersion
 type WaveProfile struct {
 	// Wave is the 1-based wave the profile covers; Epoch is the gate
 	// boundary at which it settled.
@@ -69,10 +74,18 @@ type WaveProfile struct {
 	Profile obs.Profile `json:"profile"`
 }
 
+// ReportVersion guards the JSON shape of Report and WaveProfile — the
+// payload inside cmd/solrollout's -metrics envelope. The envelope's
+// metricsVersion pins the outer schema; this constant pins the report
+// itself. Bump it (and regenerate the wirelock) on any field change.
+const ReportVersion = 1
+
 // Report is the outcome of one control-plane run: the wave trace and
 // campaign verdict (when a campaign ran) plus the final fleet report
 // at the horizon. The json tags define the -metrics export shape; the
 // embedded fleet.Report carries its own wire version.
+//
+//sollint:wire ReportVersion
 type Report struct {
 	Nodes    int           `json:"nodes"`
 	Interval time.Duration `json:"interval_ns"`

@@ -26,6 +26,8 @@ func shardSeed(campaignSeed uint64, s int) uint64 {
 // it. Each shard canaries locally — every wave targets at least one
 // node per shard — so a candidate is exposed to every partition's
 // workload mix from the first wave.
+//
+//sollint:shardlocal
 type shardCohort struct {
 	order    []int // shard's nodes, shuffled; order[:targeted] is its cohort
 	targeted int
@@ -55,10 +57,14 @@ type shardedCampaign struct {
 	// spanFrom/spanUntil bound the span being launched (elapsed virtual
 	// time); written on the conductor goroutine before each Span, read
 	// by the shards' stepped-set filters during it.
-	spanFrom  time.Duration
+	//
+	//sollint:shardlocal
+	spanFrom time.Duration
+	//sollint:shardlocal
 	spanUntil time.Duration
 }
 
+//sollint:alignspan
 func newShardedCampaign(camp *Campaign, co *fleet.Coordinator, journal *Journal, replay []WaveEvent) (*shardedCampaign, error) {
 	targets, err := camp.compile()
 	if err != nil {
@@ -262,6 +268,8 @@ func (s *shardedCampaign) judge(epoch int) error {
 // the final truncated epoch) matches the single-barrier Drive exactly,
 // so a one-shard run reproduces the classic engine's trace byte for
 // byte — with or without a lifecycle fault plan.
+//
+//sollint:alignspan
 func runSharded(cfg Config) (*Report, error) {
 	co, err := fleet.NewCoordinator(cfg.Fleet)
 	if err != nil {

@@ -6,43 +6,57 @@ import (
 	"time"
 )
 
+// StatsWireVersion guards the JSON shape of Stats. The counter block
+// rides inside every versioned document (fleet reports, wave health,
+// metrics export) under its own field names, so a shape change here is
+// a wire change everywhere — bump this and the wirelock together.
+const StatsWireVersion = 1
+
 // Stats counts everything the runtime did. The counters give operators
 // (and the evaluation harness) visibility into which safeguards fired
 // and how often the agent acted with, without, or against model
 // predictions.
+//
+// The json tags pin each field to its historical wire name (the Go
+// name encoding/json defaulted to before the tags existed), so tagging
+// changed no bytes.
+//
+//sollint:wire StatsWireVersion
 type Stats struct {
-	StartedAt time.Time
-	StoppedAt time.Time
+	//sollint:allow wirestable deterministic virtual-clock instant (UTC, no monotonic part survives marshaling)
+	StartedAt time.Time `json:"StartedAt"`
+	//sollint:allow wirestable deterministic virtual-clock instant (UTC, no monotonic part survives marshaling)
+	StoppedAt time.Time `json:"StoppedAt"`
 
 	// Model loop.
-	DataCollected          uint64 // CollectData calls
-	CollectErrors          uint64 // CollectData returned an error
-	DataRejected           uint64 // ValidateData rejected the sample
-	DataCommitted          uint64 // samples committed to the model
-	ModelUpdates           uint64 // UpdateModel calls
-	PredictErrors          uint64 // Predict returned an error
-	EpochShortCircuits     uint64 // epochs ended by MaxEpochTime
-	ModelAssessments       uint64 // AssessModel calls
-	ModelSafeguardTriggers uint64 // healthy -> failing transitions
-	PredictionsIntercepted uint64 // learned predictions replaced by defaults
-	PredictionsIssued      uint64 // predictions queued to the actuator
-	DefaultPredictions     uint64 // of which defaults
-	ScheduleViolations     uint64 // model steps that ran late
+	DataCollected          uint64 `json:"DataCollected"`          // CollectData calls
+	CollectErrors          uint64 `json:"CollectErrors"`          // CollectData returned an error
+	DataRejected           uint64 `json:"DataRejected"`           // ValidateData rejected the sample
+	DataCommitted          uint64 `json:"DataCommitted"`          // samples committed to the model
+	ModelUpdates           uint64 `json:"ModelUpdates"`           // UpdateModel calls
+	PredictErrors          uint64 `json:"PredictErrors"`          // Predict returned an error
+	EpochShortCircuits     uint64 `json:"EpochShortCircuits"`     // epochs ended by MaxEpochTime
+	ModelAssessments       uint64 `json:"ModelAssessments"`       // AssessModel calls
+	ModelSafeguardTriggers uint64 `json:"ModelSafeguardTriggers"` // healthy -> failing transitions
+	PredictionsIntercepted uint64 `json:"PredictionsIntercepted"` // learned predictions replaced by defaults
+	PredictionsIssued      uint64 `json:"PredictionsIssued"`      // predictions queued to the actuator
+	DefaultPredictions     uint64 `json:"DefaultPredictions"`     // of which defaults
+	ScheduleViolations     uint64 `json:"ScheduleViolations"`     // model steps that ran late
 
 	// Queue.
-	PredictionsExpired uint64 // discarded at consumption: expired
-	PredictionsDropped uint64 // discarded: overflow or superseded
+	PredictionsExpired uint64 `json:"PredictionsExpired"` // discarded at consumption: expired
+	PredictionsDropped uint64 `json:"PredictionsDropped"` // discarded: overflow or superseded
 
 	// Actuator loop.
-	Actions                   uint64 // TakeAction calls
-	ActionsOnModel            uint64 // with a learned prediction
-	ActionsOnDefault          uint64 // with a default prediction
-	ActionsWithoutPrediction  uint64 // with nil (no fresh prediction)
-	BlockedDeadlines          uint64 // deadlines skipped in Blocking mode
-	ActuatorAssessments       uint64 // AssessPerformance calls
-	ActuatorSafeguardTriggers uint64 // acceptable -> unacceptable transitions
-	Mitigations               uint64 // Mitigate calls
-	ActuatorResumes           uint64 // safeguard released the halt
+	Actions                   uint64 `json:"Actions"`                   // TakeAction calls
+	ActionsOnModel            uint64 `json:"ActionsOnModel"`            // with a learned prediction
+	ActionsOnDefault          uint64 `json:"ActionsOnDefault"`          // with a default prediction
+	ActionsWithoutPrediction  uint64 `json:"ActionsWithoutPrediction"`  // with nil (no fresh prediction)
+	BlockedDeadlines          uint64 `json:"BlockedDeadlines"`          // deadlines skipped in Blocking mode
+	ActuatorAssessments       uint64 `json:"ActuatorAssessments"`       // AssessPerformance calls
+	ActuatorSafeguardTriggers uint64 `json:"ActuatorSafeguardTriggers"` // acceptable -> unacceptable transitions
+	Mitigations               uint64 `json:"Mitigations"`               // Mitigate calls
+	ActuatorResumes           uint64 `json:"ActuatorResumes"`           // safeguard released the halt
 }
 
 // Add accumulates another runtime's counters into s, for fleet-level

@@ -45,9 +45,11 @@ type Coordinator struct {
 	// only by that node's advancing worker, read only with the node
 	// quiescent); lifeErrs collects per-node restart failures, surfaced
 	// by Span and Drive at the next alignment.
-	start    time.Time
-	plan     faults.NodePlan
-	dark     []bool
+	start time.Time
+	plan  faults.NodePlan
+	//sollint:shardlocal
+	dark []bool
+	//sollint:shardlocal
 	lifeErrs []error
 }
 
@@ -62,6 +64,8 @@ type steppedNode struct {
 // is the default horizon RunStepped drives; Coordinator itself steps
 // freely. The first setup error stops the already-built nodes and is
 // returned.
+//
+//sollint:alignspan
 func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -194,6 +198,7 @@ func (c *Coordinator) NodeDown(idx int) bool {
 // the node quiescent (at a barrier, or from its shard's OnEpoch).
 //
 //sollint:hotpath
+//sollint:alignspan
 func (c *Coordinator) NodeDark(idx int) bool { return c.plan != nil && c.dark[idx] }
 
 // NodeTransitions reports whether the lifecycle plan schedules any
@@ -215,6 +220,8 @@ func (c *Coordinator) NodeTransitions(idx int, from, until time.Duration) bool {
 // any — set when a spec-driven Restart failed. Span and Drive check it
 // automatically; callers using StepFor directly under a lifecycle plan
 // should poll it.
+//
+//sollint:alignspan
 func (c *Coordinator) LifecycleErr() error {
 	for idx, err := range c.lifeErrs {
 		if err != nil {

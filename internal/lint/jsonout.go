@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is one diagnostic in `sollint -json` output: the
+// machine-readable shape CI turns into annotations.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// EncodeJSON writes findings as a JSON array — always an array, never
+// null, so consumers can index unconditionally — with two-space
+// indentation and a trailing newline.
+func EncodeJSON(w io.Writer, fs []JSONFinding) error {
+	if fs == nil {
+		fs = []JSONFinding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(fs)
+}

@@ -13,12 +13,26 @@
 //     costs at 10k nodes); a stray fmt call or captured closure undoes
 //     them quietly.
 //
-// Five analyzers implement this: walltime, seedrand, maporder,
-// hotalloc, and clockhygiene, plus a small meta-analyzer (sollintdir)
-// that validates the //sollint: control comments themselves. Each is
-// written against the internal/lint/analysis mirror of the
-// golang.org/x/tools/go/analysis API, so they port to the real
-// framework by swapping one import.
+// Since PR 9 two more structural contracts are machine-checked:
+//
+//   - wire stability: the versioned JSON forms (campaign manifest,
+//     fleet report, sol-metrics envelope, journal lines) may only
+//     change shape alongside a bump of their version constant. The
+//     wirestable analyzer checks field hygiene and compares each
+//     registered struct against the checked-in field-fingerprint lock
+//     (internal/lint/wirelock).
+//   - shard isolation: state owned by one shard is touched only inside
+//     that shard's span or at an alignment barrier — the mutex-free
+//     contract the conductor, the lock-free profiler accumulators, and
+//     the per-shard cohort buffers rely on. The shardspan analyzer
+//     enforces it for annotated fields and types.
+//
+// Seven analyzers implement this: walltime, seedrand, maporder,
+// hotalloc, clockhygiene, wirestable, and shardspan, plus a small
+// meta-analyzer (sollintdir) that validates the //sollint: control
+// comments themselves. Each is written against the internal/lint/
+// analysis mirror of the golang.org/x/tools/go/analysis API, so they
+// port to the real framework by swapping one import.
 //
 // # Control comments
 //
@@ -27,6 +41,24 @@
 // marks the next function declaration as a hot path: hotalloc flags
 // every construct in its body that defeats escape analysis or
 // allocates per call.
+//
+//	//sollint:wire <VersionConst>
+//
+// registers the next struct type declaration as a wire type guarded by
+// the named version constant (declared in the same package): wirestable
+// audits its fields and pins its fingerprint in wirelock.json.
+//
+//	//sollint:shardlocal
+//
+// marks the next struct type (all of its fields) or the next struct
+// field as shard-owned state for the shardspan analyzer.
+//
+//	//sollint:alignspan
+//
+// marks the next function declaration as running in a sanctioned
+// shard-state context — on a shard's own goroutine inside a span, or
+// with the fleet aligned (quiescent) at a barrier — so it and everything
+// it calls may touch shard-local state.
 //
 //	//sollint:allow <analyzer>[,<analyzer>...] <justification>
 //
@@ -54,6 +86,8 @@ func Suite() []*analysis.Analyzer {
 		Maporder,
 		Hotalloc,
 		Clockhygiene,
+		Wirestable,
+		Shardspan,
 		Directives,
 	}
 }
@@ -74,6 +108,13 @@ type Scope struct {
 	// convention applies: clockhygiene flags time.Time struct fields
 	// and unexported-function parameters there.
 	HygienePaths []string
+	// SpanAPIs lists the qualified struct types ("pkg/path.Name") whose
+	// function-typed fields are per-shard span hooks: a function
+	// assigned to one of them (shard.Span's Stepped/OnEpoch,
+	// shard.Config's Advance) runs on a shard's goroutine inside a
+	// span, so shardspan treats it — and everything reachable from it —
+	// as a sanctioned shard-state context.
+	SpanAPIs []string
 }
 
 // DefaultScope is the module's scope; the package-level analyzers
@@ -82,6 +123,7 @@ var DefaultScope = Scope{
 	SimPrefixes:  []string{"sol/internal/"},
 	Exempt:       []string{"sol/internal/clock", "sol/internal/lint", "sol/internal/obs"},
 	HygienePaths: []string{"sol/internal/clock"},
+	SpanAPIs:     []string{"sol/internal/shard.Span", "sol/internal/shard.Config"},
 }
 
 // CurrentScope is the scope in effect; see SetScope.
@@ -137,9 +179,23 @@ func inHygieneScope(path string) bool {
 // --- //sollint: control comments ---
 
 const (
-	allowPrefix   = "//sollint:allow"
-	hotpathMarker = "//sollint:hotpath"
+	allowPrefix      = "//sollint:allow"
+	hotpathMarker    = "//sollint:hotpath"
+	wireMarker       = "//sollint:wire"
+	shardlocalMarker = "//sollint:shardlocal"
+	alignspanMarker  = "//sollint:alignspan"
 )
+
+// hasMarker reports whether text is the marker itself or the marker
+// followed by arguments — not merely a prefix, so //sollint:wire does
+// not swallow a longer directive name sharing its spelling.
+func hasMarker(text, marker string) bool {
+	if !strings.HasPrefix(text, marker) {
+		return false
+	}
+	rest := text[len(marker):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
 
 // allowRange is one //sollint:allow comment resolved to the source
 // interval it suppresses.
@@ -154,26 +210,51 @@ type allowRange struct {
 type directives struct {
 	allows  []allowRange
 	hotpath map[*ast.FuncDecl]bool
+	// wire maps each //sollint:wire-registered struct type to the name
+	// of the version constant guarding its wire form.
+	wire map[*ast.TypeSpec]string
+	// shardlocalTypes and shardlocalFields are the //sollint:shardlocal
+	// marks: a marked type covers every field of the struct.
+	shardlocalTypes  map[*ast.TypeSpec]bool
+	shardlocalFields map[*ast.Field]bool
+	// alignspan marks functions sanctioned to touch shard-local state.
+	alignspan map[*ast.FuncDecl]bool
 	// badAllow are allow comments with no justification; badHotpath
-	// are hotpath markers not followed by a function declaration.
+	// are hotpath markers not followed by a function declaration; the
+	// remaining bad* slices are the new directives' malformed uses.
 	// The sollintdir meta-analyzer reports them.
-	badAllow   []token.Pos
-	badHotpath []token.Pos
+	badAllow      []token.Pos
+	badHotpath    []token.Pos
+	badWire       []token.Pos
+	badShardlocal []token.Pos
+	badAlignspan  []token.Pos
 }
 
 // parseDirectives scans the pass's files for //sollint: comments and
 // resolves each to its target node.
 func parseDirectives(pass *analysis.Pass) *directives {
-	d := &directives{hotpath: make(map[*ast.FuncDecl]bool)}
+	d := &directives{
+		hotpath:          make(map[*ast.FuncDecl]bool),
+		wire:             make(map[*ast.TypeSpec]string),
+		shardlocalTypes:  make(map[*ast.TypeSpec]bool),
+		shardlocalFields: make(map[*ast.Field]bool),
+		alignspan:        make(map[*ast.FuncDecl]bool),
+	}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(c.Text)
 				switch {
-				case strings.HasPrefix(text, allowPrefix):
+				case hasMarker(text, allowPrefix):
 					d.parseAllow(pass, f, c)
-				case strings.HasPrefix(text, hotpathMarker):
+				case hasMarker(text, hotpathMarker):
 					d.parseHotpath(pass, f, c)
+				case hasMarker(text, wireMarker):
+					d.parseWire(pass, f, c)
+				case hasMarker(text, shardlocalMarker):
+					d.parseShardlocal(pass, f, c)
+				case hasMarker(text, alignspanMarker):
+					d.parseAlignspan(pass, f, c)
 				}
 			}
 		}
@@ -217,6 +298,58 @@ func (d *directives) parseHotpath(pass *analysis.Pass, f *ast.File, c *ast.Comme
 		return
 	}
 	d.badHotpath = append(d.badHotpath, c.Pos())
+}
+
+// structSpec unwraps a directive's target node to the struct type
+// declaration it names: a TypeSpec directly (inside a type block) or a
+// single-spec GenDecl (the doc-comment position of `type X struct`).
+func structSpec(node ast.Node) *ast.TypeSpec {
+	ts, ok := node.(*ast.TypeSpec)
+	if !ok {
+		gd, isGen := node.(*ast.GenDecl)
+		if !isGen || gd.Tok != token.TYPE || len(gd.Specs) != 1 {
+			return nil
+		}
+		ts, ok = gd.Specs[0].(*ast.TypeSpec)
+		if !ok {
+			return nil
+		}
+	}
+	if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+		return nil
+	}
+	return ts
+}
+
+func (d *directives) parseWire(pass *analysis.Pass, f *ast.File, c *ast.Comment) {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), wireMarker))
+	ts := structSpec(targetNode(pass, f, c))
+	if len(strings.Fields(rest)) != 1 || ts == nil {
+		d.badWire = append(d.badWire, c.Pos())
+		return
+	}
+	d.wire[ts] = rest
+}
+
+func (d *directives) parseShardlocal(pass *analysis.Pass, f *ast.File, c *ast.Comment) {
+	node := targetNode(pass, f, c)
+	if fld, ok := node.(*ast.Field); ok {
+		d.shardlocalFields[fld] = true
+		return
+	}
+	if ts := structSpec(node); ts != nil {
+		d.shardlocalTypes[ts] = true
+		return
+	}
+	d.badShardlocal = append(d.badShardlocal, c.Pos())
+}
+
+func (d *directives) parseAlignspan(pass *analysis.Pass, f *ast.File, c *ast.Comment) {
+	if fd, ok := targetNode(pass, f, c).(*ast.FuncDecl); ok {
+		d.alignspan[fd] = true
+		return
+	}
+	d.badAlignspan = append(d.badAlignspan, c.Pos())
 }
 
 // targetNode resolves a control comment to the declaration or
@@ -279,13 +412,13 @@ func (d *directives) reporter(pass *analysis.Pass) func(pos token.Pos, format st
 // justification-free allow cannot silently disable a check.
 var Directives = &analysis.Analyzer{
 	Name: "sollintdir",
-	Doc:  "validate //sollint:allow and //sollint:hotpath control comments",
+	Doc:  "validate //sollint: control comments (allow, hotpath, wire, shardlocal, alignspan)",
 	Run:  runDirectives,
 }
 
 // knownAnalyzers mirrors Suite; runDirectives cannot call Suite
 // without an initialization cycle through the Directives variable.
-var knownAnalyzers = []string{"walltime", "seedrand", "maporder", "hotalloc", "clockhygiene", "sollintdir"}
+var knownAnalyzers = []string{"walltime", "seedrand", "maporder", "hotalloc", "clockhygiene", "wirestable", "shardspan", "sollintdir"}
 
 func runDirectives(pass *analysis.Pass) (any, error) {
 	d := parseDirectives(pass)
@@ -298,6 +431,15 @@ func runDirectives(pass *analysis.Pass) (any, error) {
 	}
 	for _, pos := range d.badHotpath {
 		pass.Reportf(pos, "//sollint:hotpath must precede a function declaration")
+	}
+	for _, pos := range d.badWire {
+		pass.Reportf(pos, "//sollint:wire must name one version constant and precede a struct type declaration: //sollint:wire <VersionConst>")
+	}
+	for _, pos := range d.badShardlocal {
+		pass.Reportf(pos, "//sollint:shardlocal must precede a struct type or field declaration")
+	}
+	for _, pos := range d.badAlignspan {
+		pass.Reportf(pos, "//sollint:alignspan must precede a function declaration")
 	}
 	for _, ar := range d.allows {
 		names := make([]string, 0, len(ar.names))

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"sol/internal/lint/analysis"
+)
+
+// Shardspan enforces the conductor's mutex-free contract: state marked
+// //sollint:shardlocal (a struct field, or a whole struct type) is
+// owned by one shard and may only be touched from code that provably
+// runs in a sanctioned context — the body of a per-shard span hook (a
+// function assigned to a field of one of Scope.SpanAPIs' structs, e.g.
+// shard.Span.Stepped or shard.Config.Advance), a function marked
+// //sollint:alignspan (documented to run on the shard's goroutine or
+// with the fleet aligned), or anything statically reachable from
+// those. Every other read, write, or construction is a finding.
+//
+// Reachability is intra-package and permissive: calls through
+// interfaces or function values stored outside span-API literals are
+// not traced, and a function called from both sanctioned and
+// unsanctioned contexts is treated as sanctioned. The analyzer has no
+// cross-package facts, so shard-local state must not be exported.
+var Shardspan = &analysis.Analyzer{
+	Name: "shardspan",
+	Doc:  "flag //sollint:shardlocal state accessed outside shard spans or //sollint:alignspan functions",
+	Run:  runShardspan,
+}
+
+// spanAccess is one touch of shard-local state: where, what (for the
+// diagnostic), and the innermost enclosing function (nil at package
+// scope).
+type spanAccess struct {
+	pos  token.Pos
+	what string
+	fn   ast.Node
+}
+
+// spanGraph accumulates the intra-package call graph and the accesses
+// to judge against it.
+type spanGraph struct {
+	pass         *analysis.Pass
+	markedFields map[types.Object]bool
+	markedTypes  map[*types.TypeName]bool
+	spanAPIs     map[string]bool
+	decls        map[types.Object]*ast.FuncDecl
+	edges        map[ast.Node][]ast.Node
+	roots        []ast.Node
+	accesses     []spanAccess
+}
+
+func runShardspan(pass *analysis.Pass) (any, error) {
+	d := parseDirectives(pass)
+	if len(d.shardlocalFields) == 0 && len(d.shardlocalTypes) == 0 {
+		return nil, nil
+	}
+	g := &spanGraph{
+		pass:         pass,
+		markedFields: make(map[types.Object]bool),
+		markedTypes:  make(map[*types.TypeName]bool),
+		spanAPIs:     make(map[string]bool),
+		decls:        make(map[types.Object]*ast.FuncDecl),
+		edges:        make(map[ast.Node][]ast.Node),
+	}
+	for fld := range d.shardlocalFields {
+		for _, id := range fld.Names {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				g.markedFields[obj] = true
+			}
+		}
+	}
+	for ts := range d.shardlocalTypes {
+		if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+			g.markedTypes[tn] = true
+		}
+	}
+	for _, api := range CurrentScope.SpanAPIs {
+		g.spanAPIs[api] = true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					g.decls[obj] = fd
+				}
+			}
+		}
+	}
+	// Root order never reaches the output (roots seed a set-union
+	// closure, and findings are reported in walk order), but sorted
+	// seeding keeps the whole pipeline order-independent by
+	// construction.
+	aligned := make([]*ast.FuncDecl, 0, len(d.alignspan))
+	for fd := range d.alignspan {
+		aligned = append(aligned, fd)
+	}
+	sort.Slice(aligned, func(i, j int) bool { return aligned[i].Pos() < aligned[j].Pos() })
+	for _, fd := range aligned {
+		g.roots = append(g.roots, fd)
+	}
+	for _, f := range pass.Files {
+		g.walk(f)
+	}
+
+	// Forward closure: everything referenced (called, spawned, passed)
+	// from a sanctioned function inherits the sanction.
+	allowed := make(map[ast.Node]bool)
+	queue := append([]ast.Node(nil), g.roots...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if allowed[n] {
+			continue
+		}
+		allowed[n] = true
+		queue = append(queue, g.edges[n]...)
+	}
+
+	report := d.reporter(pass)
+	for _, a := range g.accesses {
+		if a.fn != nil && allowed[a.fn] {
+			continue
+		}
+		report(a.pos, "%s outside a shard span or aligned context — reach it only from a span hook or //sollint:alignspan function, or annotate //sollint:allow shardspan <why>", a.what)
+	}
+	return nil, nil
+}
+
+// walk builds edges, roots, and accesses for one file, tracking the
+// innermost enclosing function via the inspection stack.
+func (g *spanGraph) walk(f *ast.File) {
+	var stack []ast.Node
+	enclosing := func() ast.Node {
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				return stack[i]
+			}
+		}
+		return nil
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		cur := enclosing()
+		stack = append(stack, n)
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if cur != nil {
+				g.edges[cur] = append(g.edges[cur], v)
+			}
+		case *ast.Ident:
+			// Any reference to a package function — call, go/defer,
+			// method value, value passed along — from inside cur.
+			if fd := g.decls[g.pass.TypesInfo.Uses[v]]; fd != nil && cur != nil {
+				g.edges[cur] = append(g.edges[cur], fd)
+			}
+		case *ast.SelectorExpr:
+			if sel := g.pass.TypesInfo.Selections[v]; sel != nil && sel.Kind() == types.FieldVal {
+				if g.markedFields[sel.Obj()] || g.markedNamed(sel.Recv()) {
+					g.accesses = append(g.accesses, spanAccess{
+						pos:  v.Sel.Pos(),
+						what: "shard-local field " + g.ownerName(sel) + v.Sel.Name + " accessed",
+						fn:   cur,
+					})
+				}
+			}
+		case *ast.CompositeLit:
+			g.compositeLit(v, cur)
+		}
+		return true
+	})
+}
+
+// compositeLit handles the three roles a literal can play: a span-API
+// value whose function-typed elements become roots, a construction of
+// a marked type, and keyed assignments to marked fields.
+func (g *spanGraph) compositeLit(cl *ast.CompositeLit, cur ast.Node) {
+	t := g.pass.TypesInfo.TypeOf(cl)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if g.markedTypes[obj] {
+		g.accesses = append(g.accesses, spanAccess{
+			pos:  cl.Pos(),
+			what: "shard-local type " + obj.Name() + " constructed",
+			fn:   cur,
+		})
+	}
+	qname := obj.Name()
+	if obj.Pkg() != nil {
+		qname = basePath(obj.Pkg().Path()) + "." + obj.Name()
+	}
+	isAPI := g.spanAPIs[qname]
+	for _, elt := range cl.Elts {
+		val := elt
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			val = kv.Value
+			if id, isID := kv.Key.(*ast.Ident); isID {
+				if fobj := g.pass.TypesInfo.Uses[id]; fobj != nil && g.markedFields[fobj] {
+					g.accesses = append(g.accesses, spanAccess{
+						pos:  id.Pos(),
+						what: "shard-local field " + obj.Name() + "." + id.Name + " assigned",
+						fn:   cur,
+					})
+				}
+			}
+		}
+		if isAPI {
+			g.rootHook(val)
+		}
+	}
+}
+
+// rootHook marks a value assigned into a span-API struct as a
+// sanctioned context: a function literal or a reference to a package
+// function or method.
+func (g *spanGraph) rootHook(val ast.Expr) {
+	switch v := ast.Unparen(val).(type) {
+	case *ast.FuncLit:
+		g.roots = append(g.roots, v)
+	case *ast.Ident:
+		if fd := g.decls[g.pass.TypesInfo.Uses[v]]; fd != nil {
+			g.roots = append(g.roots, fd)
+		}
+	case *ast.SelectorExpr:
+		if fd := g.decls[g.pass.TypesInfo.Uses[v.Sel]]; fd != nil {
+			g.roots = append(g.roots, fd)
+		}
+	}
+}
+
+// markedNamed reports whether t (possibly behind pointers) is a named
+// type whose declaration carries //sollint:shardlocal.
+func (g *spanGraph) markedNamed(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && g.markedTypes[named.Obj()]
+}
+
+// ownerName renders the selection's receiver type for diagnostics, as
+// "Type." when it resolves to a named type.
+func (g *spanGraph) ownerName(sel *types.Selection) string {
+	t := sel.Recv()
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "."
+	}
+	return ""
+}

@@ -16,3 +16,32 @@ const wellFormed = 3
 
 //sollint:hotpath
 func properlyMarked() {}
+
+//sollint:wire
+type wireNoConst struct{ A int }
+
+//sollint:wire TwoVersion extra words
+type wireTwoArgs struct{ A int }
+
+//sollint:wire SomeVersion
+var wireNotAStruct int
+
+//sollint:shardlocal
+const shardlocalNotAField = 4
+
+//sollint:alignspan
+type alignspanNotAFunc struct{}
+
+// Well-formed forms of the three PR-9 directives produce no finding.
+
+//sollint:wire DirVersion
+type wireWellFormed struct {
+	//sollint:shardlocal
+	A int
+}
+
+//sollint:shardlocal
+type shardlocalWellFormed struct{ B int }
+
+//sollint:alignspan
+func alignspanWellFormed() {}

@@ -1,0 +1,90 @@
+// Package a models the conductor's span/align shape for the shardspan
+// analyzer: Span and Config stand in for shard.Span and shard.Config
+// (the driving test points Scope.SpanAPIs here), state carries marked
+// fields and a marked type, and functions cover every sanctioned
+// context beside the rogue accesses the analyzer must flag.
+package a
+
+// Span mimics shard.Span: its function fields are per-shard hooks.
+type Span struct {
+	Stepped func(s int)
+	OnEpoch func(s int)
+}
+
+// Config mimics shard.Config.
+type Config struct {
+	Advance func(cell int)
+}
+
+// cohort is shard-local as a whole type: constructing one outside a
+// sanctioned context is a finding.
+//
+//sollint:shardlocal
+type cohort struct {
+	n int
+}
+
+// state mixes one marked field with an unmarked one.
+type state struct {
+	//sollint:shardlocal
+	acc   int
+	total int
+}
+
+// aligned is a sanctioned context by annotation.
+//
+//sollint:alignspan
+func (st *state) aligned() {
+	st.acc++ // sanctioned: inside an alignspan function
+	helper(st)
+}
+
+// helper is sanctioned transitively: reachable from aligned and from
+// the hooks below.
+func helper(st *state) {
+	st.acc += 2
+	_ = cohort{n: st.acc}
+}
+
+// stepped becomes sanctioned as a method-value hook in launch.
+func (st *state) stepped(s int) {
+	st.acc += s
+}
+
+// launch roots its hooks without being sanctioned itself: the method
+// value and the literal are, their enclosing function is not.
+func launch(st *state) Span {
+	return Span{
+		Stepped: st.stepped,
+		OnEpoch: func(s int) {
+			st.acc += s
+			helper(st)
+		},
+	}
+}
+
+// configure roots a Config.Advance literal.
+func configure(st *state) Config {
+	return Config{Advance: func(cell int) {
+		c := cohort{n: cell}
+		st.acc += c.n
+	}}
+}
+
+// rogue touches shard-local state from plain code: both accesses are
+// findings. Reading the unmarked field is not.
+func rogue(st *state) int {
+	st.acc++         // want `shard-local field state\.acc accessed outside a shard span or aligned context`
+	_ = cohort{n: 1} // want `shard-local type cohort constructed outside a shard span or aligned context`
+	return st.total
+}
+
+// sanctionedRead proves the allow escape.
+//
+//sollint:allow shardspan quiescent read, fleet provably aligned by the test harness
+func sanctionedRead(st *state) int {
+	return st.acc
+}
+
+// A package-scope construction has no enclosing function at all.
+var global = cohort{} // want `shard-local type cohort constructed outside a shard span or aligned context`

@@ -1,0 +1,50 @@
+// Package wiredemo exercises the wirestable analyzer's hygiene
+// checks: every field shape the analyzer rejects, beside the
+// compliant (or explicitly allowed) twin of each. The driving test
+// installs a lock collected from this package itself, minus the
+// Unlocked entry, so drift stays silent and only hygiene fires.
+package wiredemo
+
+import "time"
+
+// WireVersion guards every wire type in this fixture.
+const WireVersion = 3
+
+// Good is fully tagged with sane field types: silent.
+//
+//sollint:wire WireVersion
+type Good struct {
+	A int    `json:"a"`
+	B string `json:"b,omitempty"`
+}
+
+// Sloppy collects one of each hygiene finding.
+//
+//sollint:wire WireVersion
+type Sloppy struct {
+	Untagged int            // want `field Untagged of wire type wiredemo\.Sloppy has no json tag`
+	hidden   int            // want `unexported field hidden of wire type wiredemo\.Sloppy is invisible to encoding/json`
+	Dup1     int            `json:"x"`
+	Dup2     int            `json:"x"` // want `duplicate wire name "x" in wire type wiredemo\.Sloppy \(fields Dup1 and Dup2\)`
+	M        map[string]int `json:"m"` // want `map-typed field M of wire type wiredemo\.Sloppy leaves wire order to the encoder`
+	I        interface{}    `json:"i"` // want `interface-typed field I of wire type wiredemo\.Sloppy serializes as whatever it holds`
+	T        time.Time      `json:"t"` // want `time\.Time field T of wire type wiredemo\.Sloppy drags location and format variance onto the wire`
+	//sollint:allow wirestable fixture proves the allow escape silences a hygiene finding
+	M2 map[string]int `json:"m2"`
+	// Off is explicitly off the wire: silent without an allow.
+	Off func() `json:"-"`
+}
+
+// Ghost names a guard constant that does not exist.
+//
+//sollint:wire NoSuchConst
+type Ghost struct { // want `no integer constant NoSuchConst in package wiredemo`
+	A int `json:"a"`
+}
+
+// Unlocked is hygienic but absent from the installed lock.
+//
+//sollint:wire WireVersion
+type Unlocked struct { // want `wire type wiredemo\.Unlocked is not recorded in the wirelock`
+	A int `json:"a"`
+}

@@ -1,0 +1,65 @@
+// Package wiredrift exercises the wirestable analyzer's lock
+// comparison: each type drifts from its locked shape in exactly one
+// way, with no version bump, and the diagnostic must name the drifted
+// field and the constant to bump. The driving test collects the lock
+// from this package and then mutates the entries to simulate the
+// locked-in past shape.
+package wiredrift
+
+// One guard per type so each diagnostic names its own constant.
+const (
+	AddVersion     = 7
+	RenameVersion  = 7
+	RetypeVersion  = 7
+	RemoveVersion  = 7
+	ReorderVersion = 7
+	BumpedVersion  = 7
+)
+
+// Added grew field B since the lock was cut.
+//
+//sollint:wire AddVersion
+type Added struct {
+	A int    `json:"a"`
+	B string `json:"b"` // want `field B added to wire type wiredrift\.Added without a version bump — bump AddVersion`
+}
+
+// Renamed kept field A but changed its wire name from "a" to "aa".
+//
+//sollint:wire RenameVersion
+type Renamed struct {
+	A int `json:"aa"` // want `wire name of field wiredrift\.Renamed\.A changed from "a" to "aa" without a version bump — bump RenameVersion`
+}
+
+// Retyped widened field A from int to int64.
+//
+//sollint:wire RetypeVersion
+type Retyped struct {
+	A int64 `json:"a"` // want `type of field wiredrift\.Retyped\.A changed from int to int64 without a version bump — bump RetypeVersion`
+}
+
+// Removed lost the locked field Gone.
+//
+//sollint:wire RemoveVersion
+type Removed struct { // want `field Gone removed from wire type wiredrift\.Removed without a version bump — bump RemoveVersion`
+	A int `json:"a"`
+}
+
+// Reordered swapped A and B relative to the lock: same fields, new
+// wire order.
+//
+//sollint:wire ReorderVersion
+type Reordered struct { // want `fields of wire type wiredrift\.Reordered reordered without a version bump`
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+// Bumped grew field B too, but its guard constant was bumped past the
+// locked value: the analyzer stays silent and `sollint -wirelock`
+// owns the stale lock.
+//
+//sollint:wire BumpedVersion
+type Bumped struct {
+	A int    `json:"a"`
+	B string `json:"b"`
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"sol/internal/lint/analysis"
+	"sol/internal/lint/wirelock"
+)
+
+// Wirestable checks the structs registered with //sollint:wire — the
+// versioned JSON forms the journal, Resume, and -metrics export depend
+// on. It enforces field hygiene (explicit unique json tags, no
+// map/interface/time.Time fields) and, against the checked-in
+// field-fingerprint lock (internal/lint/wirelock), that any field
+// add/rename/retype/reorder comes with a bump of the type's guarding
+// version constant.
+var Wirestable = &analysis.Analyzer{
+	Name: "wirestable",
+	Doc:  "check //sollint:wire struct hygiene and fingerprint stability against wirelock.json",
+	Run:  runWirestable,
+}
+
+// activeWirelock loads the lock the analyzer compares against: the
+// wirelock.json compiled into this binary. Tests swap it via
+// SetWirelock.
+var activeWirelock = wirelock.Current
+
+// SetWirelock installs f as the lock for subsequent analyzer runs and
+// returns a restore function, for tests.
+func SetWirelock(f *wirelock.File) (restore func()) {
+	old := activeWirelock
+	activeWirelock = func() (*wirelock.File, error) { return f, nil }
+	return func() { activeWirelock = old }
+}
+
+// wireType is one //sollint:wire struct resolved to its lock entry plus
+// the source positions drift diagnostics anchor to.
+type wireType struct {
+	entry    wirelock.Type
+	spec     *ast.TypeSpec
+	fieldPos map[string]token.Pos
+}
+
+func runWirestable(pass *analysis.Pass) (any, error) {
+	d := parseDirectives(pass)
+	if len(d.wire) == 0 {
+		return nil, nil
+	}
+	report := d.reporter(pass)
+	wts := collectWire(pass, d, report)
+	if len(wts) == 0 {
+		return nil, nil
+	}
+	lock, err := activeWirelock()
+	if err != nil {
+		return nil, err
+	}
+	for _, wt := range wts {
+		locked := lock.Lookup(wt.entry.Name)
+		switch {
+		case locked == nil:
+			report(wt.spec.Pos(), "wire type %s is not recorded in the wirelock — run `go run ./cmd/sollint -wirelock -update`", wt.entry.Name)
+		case locked.Guard != wt.entry.Guard:
+			report(wt.spec.Pos(), "wire type %s is locked under version constant %s but annotated //sollint:wire %s — run `go run ./cmd/sollint -wirelock -update`", wt.entry.Name, locked.Guard, wt.entry.Guard)
+		case fieldsEqual(locked.Fields, wt.entry.Fields):
+			// Shape unchanged. A guard bump without a shape change only
+			// stales the lock's guard_value; `sollint -wirelock` owns that.
+		case wt.entry.GuardValue != locked.GuardValue:
+			// Shape changed alongside a version bump: legal. The stale
+			// lock still fails `sollint -wirelock` until regenerated.
+		default:
+			reportDrift(report, wt, locked)
+		}
+	}
+	return nil, nil
+}
+
+// fieldsEqual compares two field lists including order — declaration
+// order is wire order for encoding/json.
+func fieldsEqual(a, b []wirelock.Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reportDrift names every way wt's fields differ from the locked shape,
+// anchoring each diagnostic to the drifted field and naming the
+// constant to bump.
+func reportDrift(report func(pos token.Pos, format string, args ...any), wt wireType, locked *wirelock.Type) {
+	remedy := "bump " + wt.entry.Guard + " and run `go run ./cmd/sollint -wirelock -update`"
+	pos := func(name string) token.Pos {
+		if p, ok := wt.fieldPos[name]; ok {
+			return p
+		}
+		return wt.spec.Pos()
+	}
+	was := make(map[string]wirelock.Field, len(locked.Fields))
+	for _, f := range locked.Fields {
+		was[f.Name] = f
+	}
+	now := make(map[string]wirelock.Field, len(wt.entry.Fields))
+	perField := false
+	for _, f := range wt.entry.Fields {
+		now[f.Name] = f
+		old, ok := was[f.Name]
+		switch {
+		case !ok:
+			report(pos(f.Name), "field %s added to wire type %s without a version bump — %s", f.Name, wt.entry.Name, remedy)
+			perField = true
+		case old.JSON != f.JSON:
+			report(pos(f.Name), "wire name of field %s.%s changed from %q to %q without a version bump — %s", wt.entry.Name, f.Name, old.JSON, f.JSON, remedy)
+			perField = true
+		case old.Type != f.Type:
+			report(pos(f.Name), "type of field %s.%s changed from %s to %s without a version bump — %s", wt.entry.Name, f.Name, old.Type, f.Type, remedy)
+			perField = true
+		}
+	}
+	for _, f := range locked.Fields {
+		if _, ok := now[f.Name]; !ok {
+			report(wt.spec.Pos(), "field %s removed from wire type %s without a version bump — %s", f.Name, wt.entry.Name, remedy)
+			perField = true
+		}
+	}
+	if !perField {
+		report(wt.spec.Pos(), "fields of wire type %s reordered without a version bump (declaration order is wire order) — %s", wt.entry.Name, remedy)
+	}
+}
+
+// CollectWireTypes returns the wirelock entries for one type-checked
+// unit, running the same directive parsing and hygiene checks as the
+// wirestable analyzer; findings not suppressed by //sollint:allow are
+// delivered to report. The `sollint -wirelock` generator uses it so
+// the lock is built from exactly what the analyzer sees.
+func CollectWireTypes(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(pos token.Pos, format string, args ...any)) []wirelock.Type {
+	pass := &analysis.Pass{
+		Analyzer:  Wirestable,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(analysis.Diagnostic) {},
+	}
+	d := parseDirectives(pass)
+	filtered := func(pos token.Pos, format string, args ...any) {
+		if d.allowed(Wirestable.Name, pos) {
+			return
+		}
+		report(pos, format, args...)
+	}
+	wts := collectWire(pass, d, filtered)
+	out := make([]wirelock.Type, len(wts))
+	for i, wt := range wts {
+		out[i] = wt.entry
+	}
+	return out
+}
+
+// collectWire resolves each //sollint:wire type to its lock entry,
+// reporting hygiene findings along the way. Types whose guard constant
+// does not resolve are reported and skipped. Results are in source
+// order.
+func collectWire(pass *analysis.Pass, d *directives, report func(pos token.Pos, format string, args ...any)) []wireType {
+	var out []wireType
+	pkgPath := basePath(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			guard, registered := d.wire[ts]
+			if !registered {
+				return true
+			}
+			name := pkgPath + "." + ts.Name.Name
+			gv, ok := guardValue(pass, guard)
+			if !ok {
+				report(ts.Pos(), "//sollint:wire %s: no integer constant %s in package %s — declare the version constant the wire form of %s is guarded by", guard, guard, pkgPath, ts.Name.Name)
+				return true
+			}
+			wt := wireType{
+				entry:    wirelock.Type{Name: name, Guard: guard, GuardValue: gv},
+				spec:     ts,
+				fieldPos: make(map[string]token.Pos),
+			}
+			collectFields(pass, ts, name, &wt, report)
+			out = append(out, wt)
+			return true
+		})
+	}
+	return out
+}
+
+// guardValue resolves a version-constant name to its integer value in
+// the pass's package scope.
+func guardValue(pass *analysis.Pass, name string) (int64, bool) {
+	c, ok := pass.Pkg.Scope().Lookup(name).(*types.Const)
+	if !ok || c.Val().Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(c.Val())
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+// collectFields fingerprints a wire struct's fields in declaration
+// order and reports hygiene findings: unexported or untagged fields,
+// duplicate wire names, and map/interface/time.Time types.
+func collectFields(pass *analysis.Pass, ts *ast.TypeSpec, name string, wt *wireType, report func(pos token.Pos, format string, args ...any)) {
+	st := ts.Type.(*ast.StructType)
+	qual := func(p *types.Package) string {
+		if p == pass.Pkg {
+			return ""
+		}
+		return p.Path()
+	}
+	seen := make(map[string]string) // wire name -> Go field name
+	for _, fld := range st.Fields.List {
+		t := pass.TypesInfo.TypeOf(fld.Type)
+		if t == nil {
+			continue
+		}
+		wire, tagged := jsonTagName(fld)
+		names := fieldNames(fld)
+		for _, id := range names {
+			goName, pos := id.name, id.pos
+			if wire == "-" {
+				continue // explicitly off the wire, exported or not
+			}
+			if !token.IsExported(goName) {
+				report(pos, "unexported field %s of wire type %s is invisible to encoding/json — export it, tag it json:\"-\", or annotate //sollint:allow wirestable <why>", goName, name)
+				continue
+			}
+			effective := wire
+			if effective == "" {
+				effective = goName
+			}
+			if !tagged {
+				report(pos, "field %s of wire type %s has no json tag — its wire name is coupled to the Go name; tag it explicitly, or annotate //sollint:allow wirestable <why>", goName, name)
+			}
+			if prev, dup := seen[effective]; dup {
+				report(pos, "duplicate wire name %q in wire type %s (fields %s and %s) — encoding/json drops conflicting fields, or annotate //sollint:allow wirestable <why>", effective, name, prev, goName)
+			}
+			seen[effective] = goName
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				report(pos, "map-typed field %s of wire type %s leaves wire order to the encoder — use a sorted slice, or annotate //sollint:allow wirestable <why>", goName, name)
+			}
+			if _, isIface := t.Underlying().(*types.Interface); isIface {
+				report(pos, "interface-typed field %s of wire type %s serializes as whatever it holds — pin a concrete type, or annotate //sollint:allow wirestable <why>", goName, name)
+			}
+			if isTimeTime(t) {
+				report(pos, "time.Time field %s of wire type %s drags location and format variance onto the wire — use int64 nanoseconds, or annotate //sollint:allow wirestable <why>", goName, name)
+			}
+			wt.entry.Fields = append(wt.entry.Fields, wirelock.Field{Name: goName, JSON: effective, Type: types.TypeString(t, qual)})
+			wt.fieldPos[goName] = pos
+		}
+	}
+}
+
+// fieldName is one declared (or embedded) field name with its position.
+type fieldName struct {
+	name string
+	pos  token.Pos
+}
+
+// fieldNames lists a field declaration's names; an embedded field
+// contributes its type's base name.
+func fieldNames(fld *ast.Field) []fieldName {
+	if len(fld.Names) > 0 {
+		out := make([]fieldName, len(fld.Names))
+		for i, id := range fld.Names {
+			out[i] = fieldName{name: id.Name, pos: id.Pos()}
+		}
+		return out
+	}
+	e := fld.Type
+	for {
+		switch v := e.(type) {
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			return []fieldName{{name: v.Sel.Name, pos: fld.Pos()}}
+		case *ast.Ident:
+			return []fieldName{{name: v.Name, pos: fld.Pos()}}
+		default:
+			return nil
+		}
+	}
+}
+
+// jsonTagName extracts the wire name from a field's json tag, and
+// whether a json tag is present at all.
+func jsonTagName(fld *ast.Field) (name string, tagged bool) {
+	if fld.Tag == nil {
+		return "", false
+	}
+	tag, ok := reflect.StructTag(strings.Trim(fld.Tag.Value, "`")).Lookup("json")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		tag = tag[:i]
+	}
+	return tag, true
+}

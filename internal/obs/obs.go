@@ -99,12 +99,20 @@ func (p Phase) String() string {
 	return fmt.Sprintf("phase(%d)", int(p))
 }
 
+// ProfileVersion guards the JSON shape of Profile, ShardProfile, and
+// ShardCounts. Profiles ride inside the versioned fleet report and the
+// metrics export, so any field change here is a wire change there —
+// bump this and the wirelock together.
+const ProfileVersion = 1
+
 // ShardCounts are the deterministic half of a shard's profile: how
 // many spans the shard ran, how many stepped epochs it walked, and how
 // many per-cell advance calls each mode issued. These depend only on
 // the span schedule and the cell partition — never on timing — so they
 // are byte-identical across runs and worker widths and safe to pin in
 // golden tests.
+//
+//sollint:wire ProfileVersion
 type ShardCounts struct {
 	Spans           int `json:"spans"`
 	Epochs          int `json:"epochs"`
@@ -128,6 +136,8 @@ func (c *ShardCounts) sub(o ShardCounts) {
 
 // ShardProfile is one shard's finished attribution: deterministic
 // counts plus diagnostic wall time per phase.
+//
+//sollint:wire ProfileVersion
 type ShardProfile struct {
 	Shard  int         `json:"shard"`
 	Counts ShardCounts `json:"counts"`
@@ -156,6 +166,8 @@ func (s ShardProfile) WaitFrac() float64 {
 }
 
 // Profile is a whole run's (or one wave's) attribution across shards.
+//
+//sollint:wire ProfileVersion
 type Profile struct {
 	Shards []ShardProfile `json:"shards"`
 	// ConductorAlignNS is wall time spent on the conductor's own

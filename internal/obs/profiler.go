@@ -5,6 +5,8 @@ package obs
 // reads it only after the span barrier. The pad keeps adjacent shards'
 // slots off each other's cache lines so the single-writer discipline
 // also means no false sharing.
+//
+//sollint:shardlocal
 type shardAcc struct {
 	counts ShardCounts
 	times  [NumPhases]int64
@@ -23,8 +25,11 @@ type Profiler struct {
 	// completed, and the accumulated between-spans (fleet alignment)
 	// time. Only touched by BeginSpan/EndSpan, which run with no span
 	// in flight.
+	//
+	//sollint:shardlocal
 	lastAlign int64
-	alignNS   int64
+	//sollint:shardlocal
+	alignNS int64
 }
 
 // NewProfiler returns an enabled profiler for a conductor of the given
@@ -57,6 +62,7 @@ func (p *Profiler) Start() int64 {
 // token so consecutive phases chain without re-reading the clock.
 //
 //sollint:hotpath
+//sollint:alignspan
 func (p *Profiler) RecordFree(shard, cells int, since int64) int64 {
 	if p == nil {
 		return 0
@@ -72,6 +78,7 @@ func (p *Profiler) RecordFree(shard, cells int, since int64) int64 {
 // phase, counting one epoch of cells stepped advances.
 //
 //sollint:hotpath
+//sollint:alignspan
 func (p *Profiler) RecordStep(shard, cells int, since int64) int64 {
 	if p == nil {
 		return 0
@@ -88,6 +95,7 @@ func (p *Profiler) RecordStep(shard, cells int, since int64) int64 {
 // phase — the caller's OnEpoch observer.
 //
 //sollint:hotpath
+//sollint:alignspan
 func (p *Profiler) RecordAlign(shard int, since int64) {
 	if p == nil {
 		return
@@ -101,6 +109,7 @@ func (p *Profiler) RecordAlign(shard int, since int64) {
 // wait. Called on the shard's goroutine as its last act of the span.
 //
 //sollint:hotpath
+//sollint:alignspan
 func (p *Profiler) SpanEnd(shard int) {
 	if p == nil {
 		return
@@ -115,6 +124,7 @@ func (p *Profiler) SpanEnd(shard int) {
 // (deploys, gate judgements) and accrues to ConductorAlignNS.
 //
 //sollint:hotpath
+//sollint:alignspan
 func (p *Profiler) BeginSpan() {
 	if p == nil {
 		return
@@ -130,6 +140,7 @@ func (p *Profiler) BeginSpan() {
 // before these reads.
 //
 //sollint:hotpath
+//sollint:alignspan
 func (p *Profiler) EndSpan() {
 	if p == nil {
 		return
@@ -148,6 +159,8 @@ func (p *Profiler) EndSpan() {
 // Snapshot copies the accumulated attribution into a Profile. Nil when
 // disabled. Only call with the fleet quiescent (between spans) — the
 // same contract as every other aligned-fleet read.
+//
+//sollint:alignspan
 func (p *Profiler) Snapshot() *Profile {
 	if p == nil {
 		return nil

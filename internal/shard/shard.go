@@ -168,9 +168,14 @@ type Conductor struct {
 	nShards int
 	workers int
 	bounds  []int // len nShards+1; shard s owns cells [bounds[s], bounds[s+1])
+	// aligned and allot are conductor-goroutine state: written only with
+	// the fleet quiescent (between Runs, or at Run's closing barrier).
+	//
+	//sollint:shardlocal
 	aligned time.Duration
 	prof    *obs.Profiler // nil when Config.Profile is off
-	allot   []int         // per-shard worker override (SetAllotments); nil = even spread
+	//sollint:shardlocal
+	allot []int // per-shard worker override (SetAllotments); nil = even spread
 }
 
 // New validates cfg and partitions its cells into contiguous shards of
@@ -202,6 +207,8 @@ func (c *Conductor) Profile() *obs.Profile { return c.prof.Snapshot() }
 // >= 1 and len(a) must equal the shard count. Worker widths never
 // change what the simulation computes — only how fast — so retuning
 // allotments between runs is determinism-safe by construction.
+//
+//sollint:alignspan
 func (c *Conductor) SetAllotments(a []int) error {
 	if len(a) != c.nShards {
 		return fmt.Errorf("shard: %d allotments for %d shards", len(a), c.nShards)
@@ -255,6 +262,8 @@ func (c *Conductor) ShardOf(cell int) int {
 
 // Aligned returns the elapsed simulated time every cell has reached —
 // the conductor's current barrier.
+//
+//sollint:alignspan
 func (c *Conductor) Aligned() time.Duration { return c.aligned }
 
 // shardWorkers returns shard s's worker allotment: an explicit
@@ -284,6 +293,8 @@ func (c *Conductor) shardWorkers(s int) int {
 // OnEpoch fired at every local barrier. Nothing global is taken
 // between the span's start and its end — this is the "healthy
 // steady-state epochs never take a fleet-wide lock" contract.
+//
+//sollint:alignspan
 func (c *Conductor) Run(sp Span) error {
 	switch {
 	case sp.Until < c.aligned:

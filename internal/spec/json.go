@@ -47,6 +47,8 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 // in the friendly string form. A spec-level schedule override replaces
 // the variant's schedule wholesale, so manifests that set it state the
 // full timing contract explicitly.
+//
+//sollint:wire WireVersion
 type Schedule struct {
 	DataPerEpoch           int      `json:"data_per_epoch"`
 	DataCollectInterval    Duration `json:"data_collect_interval"`
@@ -92,6 +94,8 @@ func ScheduleOf(s core.Schedule) Schedule {
 // Options is the serializable subset of core.Options: the safeguard
 // ablation flags. The hook fields (fault injection, epoch tracing) are
 // code, not data — they always come from the environment.
+//
+//sollint:wire WireVersion
 type Options struct {
 	Blocking                 bool `json:"blocking,omitempty"`
 	DisableDataValidation    bool `json:"disable_data_validation,omitempty"`

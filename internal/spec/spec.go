@@ -34,11 +34,18 @@ import (
 	"sol/internal/telemetry"
 )
 
+// WireVersion guards the JSON shape of Agent, Schedule, and Options —
+// the spec forms stored in campaign manifests and diffed by operators.
+// Bump it (and regenerate the wirelock) on any field change.
+const WireVersion = 1
+
 // Agent is a serializable description of one agent deployment. The
 // zero Params deploy the environment's baseline for the kind (or the
 // kind's registered defaults when the environment has none), so
 // {"kind": "harvest"} alone is a complete, meaningful spec: "whatever
 // this node normally runs".
+//
+//sollint:wire WireVersion
 type Agent struct {
 	// Kind names the registered agent kind (e.g. "harvest").
 	Kind string `json:"kind"`

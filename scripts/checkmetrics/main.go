@@ -16,6 +16,10 @@ const (
 	wantVersion = 1
 )
 
+// envelope mirrors the producers' metricsOut shape (Report stays raw
+// so one checker validates both tools' payloads).
+//
+//sollint:wire wantVersion
 type envelope struct {
 	Schema    string          `json:"schema"`
 	Version   int             `json:"version"`
