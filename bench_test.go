@@ -273,15 +273,17 @@ func benchSteppedCanary(b *testing.B, nodes int, dur, cadence time.Duration) {
 // observation cadence on the sharded conductor: each shard steps only
 // its cohort members at the cadence and free-runs its other nodes to
 // the horizon in one visit each. profile arms the conductor's
-// self-profiler — the *Profiled twins exist so the bench script can
-// hold the attribution layer to its <= 2% budget.
-func benchShardedCanary(b *testing.B, nodes, shards int, dur, cadence time.Duration, profile bool) {
+// self-profiler and trace its flight recorder — the *Profiled and
+// *Traced twins exist so the bench script can hold each observability
+// layer to its <= 2% budget.
+func benchShardedCanary(b *testing.B, nodes, shards int, dur, cadence time.Duration, profile, trace bool) {
 	b.Helper()
 	cfg := fleet.Config{
 		Nodes:    nodes,
 		Duration: dur,
 		Shards:   shards,
 		Profile:  profile,
+		Trace:    trace,
 		Setup:    fleet.StandardNode(fleet.StandardNodeConfig{Seed: 1}),
 	}
 	cohort := benchCohort(nodes)
@@ -327,7 +329,7 @@ func BenchmarkFleet1kStepped(b *testing.B) {
 }
 
 func BenchmarkFleet1kSharded(b *testing.B) {
-	benchShardedCanary(b, 1000, 8, 500*time.Millisecond, 2*time.Millisecond, false)
+	benchShardedCanary(b, 1000, 8, 500*time.Millisecond, 2*time.Millisecond, false, false)
 }
 
 // BenchmarkFleet4kStepped / BenchmarkFleet4kSharded: at 4k nodes the
@@ -339,7 +341,7 @@ func BenchmarkFleet4kStepped(b *testing.B) {
 }
 
 func BenchmarkFleet4kSharded(b *testing.B) {
-	benchShardedCanary(b, 4000, 16, 500*time.Millisecond, 2*time.Millisecond, false)
+	benchShardedCanary(b, 4000, 16, 500*time.Millisecond, 2*time.Millisecond, false, false)
 }
 
 // BenchmarkFleet4kShardedProfiled is BenchmarkFleet4kSharded with the
@@ -348,14 +350,23 @@ func BenchmarkFleet4kSharded(b *testing.B) {
 // overhead (max samples per simulated second). Must stay within 2% of
 // the unprofiled twin.
 func BenchmarkFleet4kShardedProfiled(b *testing.B) {
-	benchShardedCanary(b, 4000, 16, 500*time.Millisecond, 2*time.Millisecond, true)
+	benchShardedCanary(b, 4000, 16, 500*time.Millisecond, 2*time.Millisecond, true, false)
+}
+
+// BenchmarkFleet4kShardedTraced is BenchmarkFleet4kSharded with the
+// flight recorder on: every span begin/end and epoch on the 2 ms
+// canary cadence lands in the per-shard rings — the maximum event rate
+// the recorder sees. Appends are single-writer ring stores with zero
+// allocations, so this twin must stay within 2% of the untraced one.
+func BenchmarkFleet4kShardedTraced(b *testing.B) {
+	benchShardedCanary(b, 4000, 16, 500*time.Millisecond, 2*time.Millisecond, false, true)
 }
 
 // BenchmarkFleet10kSharded is the ROADMAP's north-star feasibility
 // check: a 10k-node, 30k-agent fleet simulated in one process on the
 // sharded conductor, with the canary cohort still observed at 2 ms.
 func BenchmarkFleet10kSharded(b *testing.B) {
-	benchShardedCanary(b, 10000, 32, 250*time.Millisecond, 2*time.Millisecond, false)
+	benchShardedCanary(b, 10000, 32, 250*time.Millisecond, 2*time.Millisecond, false, false)
 }
 
 // BenchmarkRollout32Sharded is BenchmarkRollout32 on the sharded
@@ -460,6 +471,45 @@ func BenchmarkRollout32Profiled(b *testing.B) {
 	}
 	if !completed {
 		b.Fatal("profiled healthy rollout did not complete")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkRollout32Traced is BenchmarkRollout32 with the flight
+// recorder on: spans, epochs, campaign decisions, and heap samples all
+// recorded over the full four-wave rollout. At the control plane's
+// coarse 5 s epochs the recorder sees a handful of events per
+// simulated second, so this twin must be within 2% (noise) of
+// BenchmarkRollout32.
+func BenchmarkRollout32Traced(b *testing.B) {
+	cfg, err := controlplane.NewScenario(controlplane.ScenarioSpec{
+		Scenario: controlplane.ScenarioHealthy,
+		Nodes:    32,
+		Duration: 45 * time.Second,
+		Interval: 5 * time.Second,
+		Kinds:    []string{"harvest"},
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Fleet.Trace = true
+	var events uint64
+	completed := true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := controlplane.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Fleet.Trace == nil {
+			b.Fatal("traced rollout recorded no trace")
+		}
+		events += rep.Fleet.Events
+		completed = completed && rep.Completed
+	}
+	if !completed {
+		b.Fatal("traced healthy rollout did not complete")
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }

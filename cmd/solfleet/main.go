@@ -59,6 +59,23 @@ type metricsOut struct {
 	Report     *fleet.Report `json:"report"`
 }
 
+// writeTrace exports the run's flight-recorder trace as Chrome Trace
+// Event JSON — loadable in Perfetto / chrome://tracing, with the
+// versioned sol wire form riding along under the "sol" key.
+func writeTrace(path string, rep *fleet.Report) {
+	if rep.Trace == nil {
+		log.Fatalf("solfleet: -trace %s: the run recorded no trace", path)
+	}
+	b, err := rep.Trace.Chrome()
+	if err == nil {
+		err = os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		log.Fatalf("solfleet: -trace %s: %v", path, err)
+	}
+	fmt.Printf("trace written to %s (%d events)\n", path, len(rep.Trace.Events))
+}
+
 func writeMetrics(path string, v any) {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err == nil {
@@ -88,6 +105,8 @@ func main() {
 			"with -profile -shards: propose busy-time-proportional per-shard worker allotments from the finished profile")
 		metrics = flag.String("metrics", "",
 			"write the report (+profile) as versioned JSON to this file")
+		trace = flag.String("trace", "",
+			"record a flight-recorder trace and write it as Chrome Trace Event JSON (Perfetto-loadable) to this file")
 	)
 	flag.Parse()
 
@@ -118,6 +137,7 @@ func main() {
 		Workers:  *workers,
 		Shards:   *shards,
 		Profile:  *profile,
+		Trace:    *trace != "",
 		Setup: fleet.StandardNode(fleet.StandardNodeConfig{
 			Kinds:      kinds,
 			Seed:       *seed,
@@ -167,6 +187,9 @@ func main() {
 			log.Fatalf("solfleet: -tune: %v", rerr)
 		}
 		fmt.Printf("tune: proposed per-shard worker allotments %v (busy-time proportional; rerun with these via shard.Conductor.SetAllotments)\n", allot)
+	}
+	if *trace != "" {
+		writeTrace(*trace, rep)
 	}
 	if *metrics != "" {
 		writeMetrics(*metrics, metricsOut{

@@ -117,6 +117,8 @@ func main() {
 			"attribute wall time per shard and per wave (step/free/align/wait) and add profile lines to the report")
 		metrics = flag.String("metrics", "",
 			"write the campaign report (+profiles) as versioned JSON to this file")
+		trace = flag.String("trace", "",
+			"record a flight-recorder trace and write it as Chrome Trace Event JSON (Perfetto-loadable) to this file")
 	)
 	flag.Parse()
 	switch *expect {
@@ -216,11 +218,13 @@ func main() {
 			log.Fatalf("solrollout: %v", err)
 		}
 	}
-	// Profiling is excluded from the journal fingerprint for the same
-	// reason workers are: it never shapes campaign decisions, so a
-	// journal recorded without -profile resumes fine with it (and vice
-	// versa) — wall-time attribution is diagnostics, not state.
+	// Profiling and tracing are excluded from the journal fingerprint
+	// for the same reason workers are: they never shape campaign
+	// decisions, so a journal recorded without -profile/-trace resumes
+	// fine with them (and vice versa) — observability is diagnostics,
+	// not state.
 	cfg.Fleet.Profile = *profile
+	cfg.Fleet.Trace = *trace != ""
 	if *journal != "" && cfg.Campaign == nil {
 		log.Fatalf("solrollout: -journal needs a campaign, and this configuration has none")
 	}
@@ -277,6 +281,21 @@ func main() {
 		float64(rep.Fleet.Events)/1e6,
 		float64(rep.Fleet.Events)/1e6/elapsed.Seconds())
 
+	if *trace != "" {
+		// Chrome Trace Event JSON with the versioned sol wire form
+		// riding along under the "sol" key — loadable in Perfetto.
+		if rep.Fleet.Trace == nil {
+			log.Fatalf("solrollout: -trace %s: the run recorded no trace", *trace)
+		}
+		b, terr := rep.Fleet.Trace.Chrome()
+		if terr == nil {
+			terr = os.WriteFile(*trace, append(b, '\n'), 0o644)
+		}
+		if terr != nil {
+			log.Fatalf("solrollout: -trace %s: %v", *trace, terr)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *trace, len(rep.Fleet.Trace.Events))
+	}
 	if *metrics != "" {
 		out := metricsOut{
 			Schema:     "sol-metrics",

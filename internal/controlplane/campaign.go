@@ -129,6 +129,13 @@ type campaignOutcome struct {
 	// byte-identically anyway.
 	waveProfiles []WaveProfile
 	lastProf     *obs.Profile
+
+	// rec is the fleet's flight recorder (nil when tracing is off):
+	// every wave decision passing through emit — including replayed
+	// ones, which is what makes a resumed run's trace byte-identical in
+	// sim-time fields — lands on its conductor track, as do deferred
+	// and retried deploys. Every recorder method is nil-safe.
+	rec *obs.Recorder
 }
 
 // recordWaveProfile snapshots the fleet profiler at a settled wave
@@ -150,6 +157,7 @@ func (o *campaignOutcome) recordWaveProfile(co *fleet.Coordinator, epoch int) {
 // emit is the single choke point every wave event passes through.
 func (o *campaignOutcome) emit(ev WaveEvent) {
 	o.trace = append(o.trace, ev)
+	o.rec.Decision(actionEvent(ev.Action), int64(ev.At), ev.Wave, ev.Epoch, int64(ev.Converted))
 	if o.jerr != nil {
 		return
 	}
@@ -404,7 +412,7 @@ func newCampaignState(camp *Campaign, co *fleet.Coordinator, journal *Journal, r
 		kinds[tg.kind] = true
 	}
 	return &campaignState{
-		campaignOutcome: campaignOutcome{camp: camp, journal: journal, replay: replay},
+		campaignOutcome: campaignOutcome{camp: camp, journal: journal, replay: replay, rec: co.Recorder()},
 		co:              co,
 		targets:         targets,
 		kinds:           kinds,
@@ -464,6 +472,7 @@ func (s *campaignState) tryDeploy(node int, revert bool, epoch int) error {
 	if s.co.NodeDown(node) {
 		if s.camp.DeployRetries > 0 {
 			s.pending = append(s.pending, pendingOp{node: node, revert: revert, next: epoch + 1})
+			s.rec.Deploy(obs.EvDeployDefer, int64(s.co.Elapsed()), epoch, node, revertArg(revert))
 		}
 		return nil
 	}
@@ -497,9 +506,19 @@ func (s *campaignState) processPending(epoch int) error {
 			return err
 		}
 		s.conv[p.node] = !p.revert
+		s.rec.Deploy(obs.EvDeployRetry, int64(s.co.Elapsed()), epoch, p.node, int64(p.attempts+1))
 	}
 	s.pending = keep
 	return nil
+}
+
+// revertArg encodes a deploy event's direction: 1 for a revert, 0 for
+// a conversion.
+func revertArg(revert bool) int64 {
+	if revert {
+		return 1
+	}
+	return 0
 }
 
 // convertNextWave targets the next wave's cohort slice at the

@@ -27,6 +27,27 @@ const (
 	ActionHalt     = "halt"
 )
 
+// actionEvent maps a wave-trace action to its flight-recorder event
+// kind, so the campaign decisions in a -trace export use the same
+// vocabulary as the wave trace.
+func actionEvent(action string) obs.EventKind {
+	switch action {
+	case ActionConvert:
+		return obs.EvConvert
+	case ActionPass:
+		return obs.EvPass
+	case ActionFail:
+		return obs.EvFail
+	case ActionRollback:
+		return obs.EvRollback
+	case ActionComplete:
+		return obs.EvComplete
+	case ActionAbstain:
+		return obs.EvAbstain
+	}
+	return obs.EvHalt
+}
+
 // WaveEvent is one entry of a campaign's wave trace. It is plain
 // comparable data (== is exact) and serializes to JSON — the campaign
 // journal records one WaveEvent per line, and resume verifies the

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sol/internal/fleet"
+	"sol/internal/obs"
 	"sol/internal/shard"
 	"sol/internal/stats"
 )
@@ -85,7 +86,7 @@ func newShardedCampaign(camp *Campaign, co *fleet.Coordinator, journal *Journal,
 		shards[s] = shardCohort{order: order, prev: make(map[memberKey]uint64)}
 	}
 	return &shardedCampaign{
-		campaignOutcome: campaignOutcome{camp: camp, journal: journal, replay: replay},
+		campaignOutcome: campaignOutcome{camp: camp, journal: journal, replay: replay, rec: co.Recorder()},
 		co:              co,
 		targets:         targets,
 		kinds:           kinds,
@@ -140,6 +141,7 @@ func (s *shardedCampaign) tryDeploy(sh, node int, revert bool, epoch int) error 
 	if s.co.NodeDown(node) {
 		if s.camp.DeployRetries > 0 {
 			s.pending = append(s.pending, pendingOp{node: node, sh: sh, revert: revert, next: epoch + 1})
+			s.rec.Deploy(obs.EvDeployDefer, int64(s.co.Elapsed()), epoch, node, revertArg(revert))
 		}
 		return nil
 	}
@@ -172,6 +174,7 @@ func (s *shardedCampaign) processPending(epoch int) error {
 			return err
 		}
 		s.conv[p.node] = !p.revert
+		s.rec.Deploy(obs.EvDeployRetry, int64(s.co.Elapsed()), epoch, p.node, int64(p.attempts+1))
 	}
 	s.pending = keep
 	return nil

@@ -58,6 +58,13 @@ type Config struct {
 	// a profiled run produces byte-identical simulation output to an
 	// unprofiled one; when off, the hot path pays a single nil check.
 	Profile bool
+	// Trace enables the flight recorder: per-shard rings of span /
+	// epoch / lifecycle events stamped with sim-time plus heap
+	// telemetry, published as Report.Trace (see internal/obs). Same
+	// contract as Profile: a traced run produces byte-identical
+	// simulation output to an untraced one, and when off every record
+	// site pays a single nil check.
+	Trace bool
 }
 
 func (c Config) validate() error {
@@ -152,6 +159,11 @@ type Report struct {
 	// render). Its counts are deterministic, its wall-time fields are
 	// diagnostic only — see internal/obs for the split.
 	Profile *obs.Profile
+	// Trace is the run's flight-recorder export when Config.Trace was
+	// set; nil otherwise (and then no heap: line renders). Not part of
+	// the report wire form — traces ship in their own versioned files
+	// (the CLIs' -trace flag).
+	Trace *obs.Trace `json:"-"`
 }
 
 // KindNames returns the aggregated kinds, sorted.
@@ -179,6 +191,13 @@ func (r *Report) String() string {
 		// never byte-identity-compared.
 		fmt.Fprintf(&b, "profile: %s\n", r.Profile.CountsLine())
 		fmt.Fprintf(&b, "profile: %s\n", r.Profile.Summary())
+	}
+	if r.Trace != nil {
+		// Watermark values are diagnostic, never byte-identity-compared;
+		// an untraced report gains zero lines here.
+		if line := obs.HeapLine(r.Trace.Heap); line != "" {
+			fmt.Fprintf(&b, "%s\n", line)
+		}
 	}
 	fmt.Fprintf(&b, "%-10s %7s %9s %9s %9s %8s %7s %7s %7s %9s\n",
 		"kind", "agents", "actions", "on-model", "default", "no-pred", "halted", "failing", "mitig", "deadline")
@@ -210,7 +229,11 @@ type nodeResult struct {
 	state    nodeState
 	events   uint64
 	busyNS   int64
-	err      error
+	// trace holds the node's lifecycle events when Config.Trace is set
+	// with a lifecycle plan; merged into the batch driver's
+	// single-track trace in node-index order.
+	trace []obs.Event
+	err   error
 }
 
 // Run simulates the fleet: each node gets its own virtual clock,
@@ -271,7 +294,41 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Profile {
 		rep.Profile = batchProfile(results, cfg.workers(), obs.Now()-wall0)
 	}
+	if cfg.Trace {
+		rep.Trace = batchTrace(cfg.Duration, results)
+	}
 	return rep, nil
+}
+
+// batchTrace builds the streaming driver's flight-recorder export: the
+// batch run is one logical shard running one free-run span, so the
+// trace is a single track — span begin at 0, the nodes' lifecycle
+// events merged in node-index order and stable-sorted by sim-time,
+// span end at the horizon — plus one end-of-run heap sample. The
+// sim-time fields are deterministic for the same reason the report is:
+// the events derive from the fault plan, the merge order from node
+// indexes.
+func batchTrace(dur time.Duration, results []nodeResult) *obs.Trace {
+	n := 2
+	for i := range results {
+		n += len(results[i].trace)
+	}
+	evs := make([]obs.Event, 0, n)
+	evs = append(evs, obs.Event{Kind: obs.EvSpanBegin, Track: 0, Node: -1, Wall: obs.Now()})
+	for i := range results {
+		evs = append(evs, results[i].trace...)
+	}
+	evs = append(evs, obs.Event{Kind: obs.EvSpanEnd, Track: 0, At: int64(dur), Node: -1, Wall: obs.Now()})
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
+	mw := obs.NewMemWatch(2)
+	mw.Sample(int64(dur))
+	return &obs.Trace{
+		Schema:  obs.TraceSchema,
+		Version: obs.TraceVersion,
+		Shards:  1,
+		Events:  evs,
+		Heap:    mw.Samples(),
+	}
 }
 
 // batchProfile builds the streaming driver's profile: the batch run is
@@ -380,18 +437,23 @@ func runNode(cfg Config, idx int) nodeResult {
 	if sup == nil {
 		return nodeResult{err: fmt.Errorf("setup returned no supervisor")}
 	}
+	var trace []obs.Event
 	if cfg.Lifecycle == nil {
 		clk.RunFor(cfg.Duration)
-	} else if err := runNodeLifecycle(cfg, idx, clk, sup); err != nil {
-		sup.StopAll()
-		return nodeResult{err: err}
+	} else {
+		var err error
+		trace, err = runNodeLifecycle(cfg, idx, clk, sup)
+		if err != nil {
+			sup.StopAll()
+			return nodeResult{err: err}
+		}
 	}
 	// Snapshot before StopAll so end-of-horizon safeguard state is
 	// observed, not post-cleanup state.
 	statuses := sup.Status()
 	state := nodeState{life: sup.Lifecycle(), restarts: sup.Restarts()}
 	sup.StopAll()
-	res := nodeResult{statuses: statuses, state: state, events: clk.Fired()}
+	res := nodeResult{statuses: statuses, state: state, events: clk.Fired(), trace: trace}
 	if cfg.Profile {
 		res.busyNS = obs.Now() - t0
 	}
@@ -404,16 +466,38 @@ func runNode(cfg Config, idx int) nodeResult {
 // Coordinator uses (transitions landing exactly on a boundary belong
 // to the earlier advance), so the two drivers stay byte-identical
 // under faults.
-func runNodeLifecycle(cfg Config, idx int, clk *clock.Virtual, sup *Supervisor) error {
+func runNodeLifecycle(cfg Config, idx int, clk *clock.Virtual, sup *Supervisor) ([]obs.Event, error) {
 	var lifeErr error
+	var trace []obs.Event
+	dark := false
 	apply := func(at time.Duration) {
-		if cfg.Lifecycle.State(idx, at) == faults.NodeDown {
+		st := cfg.Lifecycle.State(idx, at)
+		if nowDark := st == faults.NodeDark; nowDark != dark {
+			dark = nowDark
+			if cfg.Trace {
+				kind := obs.EvNodeLit
+				if nowDark {
+					kind = obs.EvNodeDark
+				}
+				trace = append(trace, obs.Event{Kind: kind, At: int64(at), Node: idx, Wall: obs.Now()})
+			}
+		}
+		if st == faults.NodeDown {
+			if cfg.Trace && sup.Lifecycle() == LifecycleUp {
+				trace = append(trace, obs.Event{Kind: obs.EvNodeDown, At: int64(at), Node: idx, Wall: obs.Now()})
+			}
 			sup.Crash()
 			return
 		}
 		if sup.Lifecycle() != LifecycleUp {
-			if err := sup.Restart(); err != nil && lifeErr == nil {
-				lifeErr = err
+			if err := sup.Restart(); err != nil {
+				if lifeErr == nil {
+					lifeErr = err
+				}
+				return
+			}
+			if cfg.Trace {
+				trace = append(trace, obs.Event{Kind: obs.EvNodeUp, At: int64(at), Node: idx, Wall: obs.Now()})
 			}
 		}
 	}
@@ -434,7 +518,7 @@ func runNodeLifecycle(cfg Config, idx int, clk *clock.Virtual, sup *Supervisor) 
 		clk.RunFor(target - now)
 	}
 	if lifeErr != nil {
-		return lifeErr
+		return nil, lifeErr
 	}
-	return nil
+	return trace, nil
 }

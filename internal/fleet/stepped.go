@@ -51,6 +51,10 @@ type Coordinator struct {
 	dark []bool
 	//sollint:shardlocal
 	lifeErrs []error
+
+	// rec caches the conductor's flight recorder (nil when tracing is
+	// off) for the hot advance path; every method is nil-safe.
+	rec *obs.Recorder
 }
 
 type steppedNode struct {
@@ -95,23 +99,28 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("fleet: node %d: %w", idx, err)
 		}
 	}
-	if c.plan != nil {
-		// Apply the plan's initial state (a Crash at 0 downs its nodes
-		// before any time passes), exactly as the batch driver does.
-		c.forEachNode(func(idx int) { c.applyState(idx, 0) })
-	}
 	con, err := shard.New(shard.Config{
 		Cells:   cfg.Nodes,
 		Shards:  cfg.Shards,
 		Workers: cfg.Workers,
 		Advance: c.advanceCell,
 		Profile: cfg.Profile,
+		Trace:   cfg.Trace,
 	})
 	if err != nil {
 		c.StopAll()
 		return nil, err
 	}
 	c.con = con
+	c.rec = con.Recorder()
+	if c.plan != nil {
+		c.rec.EnableLifecycle()
+		// Apply the plan's initial state (a Crash at 0 downs its nodes
+		// before any time passes), exactly as the batch driver does.
+		// This runs after the conductor exists so the recorder sees the
+		// t=0 transitions.
+		c.forEachNode(func(idx int) { c.applyState(idx, 0) })
+	}
 	return c, nil
 }
 
@@ -164,15 +173,32 @@ func (c *Coordinator) advanceCell(cell int, d time.Duration) {
 func (c *Coordinator) applyState(cell int, at time.Duration) {
 	sup := c.nodes[cell].sup
 	st := c.plan.State(cell, at)
-	c.dark[cell] = st == faults.NodeDark
+	wasDark := c.dark[cell]
+	nowDark := st == faults.NodeDark
+	c.dark[cell] = nowDark
+	if nowDark != wasDark {
+		kind := obs.EvNodeLit
+		if nowDark {
+			kind = obs.EvNodeDark
+		}
+		c.rec.StageNode(cell, kind, int64(at))
+	}
 	if st == faults.NodeDown {
+		// Record only the edge, not every idempotent re-application.
+		if sup.Lifecycle() == LifecycleUp {
+			c.rec.StageNode(cell, obs.EvNodeDown, int64(at))
+		}
 		sup.Crash()
 		return
 	}
 	if sup.Lifecycle() != LifecycleUp {
-		if err := sup.Restart(); err != nil && c.lifeErrs[cell] == nil {
-			c.lifeErrs[cell] = err
+		if err := sup.Restart(); err != nil {
+			if c.lifeErrs[cell] == nil {
+				c.lifeErrs[cell] = err
+			}
+			return
 		}
+		c.rec.StageNode(cell, obs.EvNodeUp, int64(at))
 	}
 }
 
@@ -252,6 +278,20 @@ func (c *Coordinator) Profiling() bool { return c.con.Profiling() }
 // attribution, or nil when profiling is off. Only call with the fleet
 // quiescent (between spans) — the same contract as Report.
 func (c *Coordinator) Profile() *obs.Profile { return c.con.Profile() }
+
+// Tracing reports whether the conductor's flight recorder is on
+// (Config.Trace).
+func (c *Coordinator) Tracing() bool { return c.rec.Enabled() }
+
+// Recorder returns the conductor's flight recorder (nil when tracing
+// is off), for callers that record their own events — the control
+// plane hangs campaign decisions on it. Every method is nil-safe.
+func (c *Coordinator) Recorder() *obs.Recorder { return c.rec }
+
+// Trace snapshots the accumulated flight-recorder events, or nil when
+// tracing is off. Only call with the fleet quiescent (between spans) —
+// the same contract as Report.
+func (c *Coordinator) Trace() *obs.Trace { return c.con.Trace() }
 
 // Supervisor returns node idx's supervisor, for mid-run observation
 // and member redeployment. Only call with the fleet quiescent (between
@@ -348,6 +388,7 @@ func (c *Coordinator) Report() *Report {
 	})
 	rep := aggregate(len(c.nodes), c.Elapsed(), c.cfg.start(), c.Events(), statuses, states)
 	rep.Profile = c.con.Profile()
+	rep.Trace = c.con.Trace()
 	return rep
 }
 

@@ -1,0 +1,150 @@
+package obs
+
+// Chrome Trace Event JSON export: the object form understood by
+// Perfetto and chrome://tracing. One named track (tid) per shard plus
+// a conductor track, campaign decisions as global instant events, node
+// lifecycle as paired instant+flow events so an outage's down→up arc
+// draws as an arrow, and heap telemetry as counter tracks. Extra
+// top-level keys are ignored by both viewers, so the full wire-form
+// Trace rides along under "sol" — one file serves both machines and
+// humans.
+//
+// These structs are deliberately NOT //sollint:wire: the shape is
+// Chrome's, not ours, and TraceVersion only guards the "sol" envelope.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// chromeFile is the Trace Event Format "JSON Object Format".
+type chromeFile struct {
+	Schema          string        `json:"schema"`
+	Version         int           `json:"version"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	Sol             *Trace        `json:"sol"`
+}
+
+// chromeEvent is one Trace Event. Field set is the union of the event
+// phases we emit; omitempty keeps each phase's record minimal. A
+// struct rather than a map keeps key order — and golden bytes —
+// deterministic.
+type chromeEvent struct {
+	Name  string      `json:"name"`
+	Ph    string      `json:"ph"`
+	Ts    float64     `json:"ts"` // microseconds
+	Pid   int         `json:"pid"`
+	Tid   int         `json:"tid"`
+	Cat   string      `json:"cat,omitempty"`
+	Scope string      `json:"s,omitempty"`
+	ID    int         `json:"id,omitempty"`
+	BP    string      `json:"bp,omitempty"`
+	Args  *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries the per-event payload shown in the viewer's
+// detail pane (and a counter event's series values).
+type chromeArgs struct {
+	Name      string `json:"name,omitempty"`
+	Wave      int    `json:"wave,omitempty"`
+	Epoch     int    `json:"epoch,omitempty"`
+	Node      int    `json:"node,omitempty"`
+	Arg       int64  `json:"arg,omitempty"`
+	HeapAlloc uint64 `json:"heap_alloc,omitempty"`
+	HeapInuse uint64 `json:"heap_inuse,omitempty"`
+	NumGC     uint32 `json:"num_gc,omitempty"`
+}
+
+// chromeTid maps a Trace track to a viewer tid: conductor first, then
+// shards in order.
+func chromeTid(track int) int {
+	if track == ConductorTrack {
+		return 0
+	}
+	return track + 1
+}
+
+// us converts a sim-time stamp to Trace Event microseconds.
+func us(atNS int64) float64 { return float64(atNS) / 1e3 }
+
+// Chrome renders the trace as Chrome Trace Event JSON. The output is a
+// pure function of the trace — goldens byte-compare it.
+func (t *Trace) Chrome() ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("obs: no trace to export")
+	}
+	evs := make([]chromeEvent, 0, 2+t.Shards+len(t.Events)+2*len(t.Heap))
+	// Name the process and tracks first, as metadata events.
+	evs = append(evs,
+		chromeEvent{Name: "process_name", Ph: "M", Args: &chromeArgs{Name: "sol fleet"}},
+		chromeEvent{Name: "thread_name", Ph: "M", Tid: 0, Args: &chromeArgs{Name: "conductor"}},
+	)
+	for s := 0; s < t.Shards; s++ {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Tid: chromeTid(s),
+			Args: &chromeArgs{Name: fmt.Sprintf("shard %d", s)},
+		})
+	}
+	for _, ev := range t.Events {
+		evs = append(evs, chromeEvents(ev)...)
+	}
+	for _, hs := range t.Heap {
+		evs = append(evs,
+			chromeEvent{Name: "heap bytes", Ph: "C", Ts: us(hs.At),
+				Args: &chromeArgs{HeapAlloc: hs.HeapAlloc, HeapInuse: hs.HeapInuse}},
+			chromeEvent{Name: "gc cycles", Ph: "C", Ts: us(hs.At),
+				Args: &chromeArgs{NumGC: hs.NumGC}},
+		)
+	}
+	return json.Marshal(chromeFile{
+		Schema:          TraceSchema,
+		Version:         t.Version,
+		DisplayTimeUnit: "ms",
+		TraceEvents:     evs,
+		Sol:             t,
+	})
+}
+
+// chromeEvents renders one flight-recorder event as its Trace Event
+// records — usually one, two for the flow-paired lifecycle endpoints.
+func chromeEvents(ev Event) []chromeEvent {
+	tid, ts := chromeTid(ev.Track), us(ev.At)
+	switch ev.Kind {
+	case EvSpanBegin:
+		return []chromeEvent{{Name: "span", Ph: "B", Ts: ts, Tid: tid, Cat: "span"}}
+	case EvSpanEnd:
+		return []chromeEvent{{Name: "span", Ph: "E", Ts: ts, Tid: tid, Cat: "span"}}
+	case EvEpoch:
+		return []chromeEvent{{Name: "epoch", Ph: "i", Ts: ts, Tid: tid, Cat: "epoch",
+			Scope: "t", Args: &chromeArgs{Epoch: ev.Epoch}}}
+	case EvConvert, EvPass, EvFail, EvRollback, EvComplete, EvAbstain, EvHalt:
+		return []chromeEvent{{Name: ev.Kind.String(), Ph: "i", Ts: ts, Tid: tid,
+			Cat: "campaign", Scope: "g",
+			Args: &chromeArgs{Wave: ev.Wave, Epoch: ev.Epoch, Arg: ev.Arg}}}
+	case EvNodeDown:
+		// Instant plus flow start: the arrow's tail at the crash.
+		return []chromeEvent{
+			{Name: ev.Kind.String(), Ph: "i", Ts: ts, Tid: tid, Cat: "lifecycle",
+				Scope: "t", Args: &chromeArgs{Node: ev.Node}},
+			{Name: fmt.Sprintf("node %d outage", ev.Node), Ph: "s", Ts: ts, Tid: tid,
+				Cat: "lifecycle", ID: ev.Node + 1},
+		}
+	case EvNodeUp:
+		// Flow end lands the arrow at the successful restart.
+		return []chromeEvent{
+			{Name: ev.Kind.String(), Ph: "i", Ts: ts, Tid: tid, Cat: "lifecycle",
+				Scope: "t", Args: &chromeArgs{Node: ev.Node}},
+			{Name: fmt.Sprintf("node %d outage", ev.Node), Ph: "f", Ts: ts, Tid: tid,
+				Cat: "lifecycle", ID: ev.Node + 1, BP: "e"},
+		}
+	case EvNodeDark, EvNodeLit:
+		return []chromeEvent{{Name: ev.Kind.String(), Ph: "i", Ts: ts, Tid: tid,
+			Cat: "lifecycle", Scope: "t", Args: &chromeArgs{Node: ev.Node}}}
+	case EvDeployDefer, EvDeployRetry:
+		return []chromeEvent{{Name: ev.Kind.String(), Ph: "i", Ts: ts, Tid: tid,
+			Cat: "deploy", Scope: "t",
+			Args: &chromeArgs{Node: ev.Node, Epoch: ev.Epoch, Arg: ev.Arg}}}
+	}
+	return []chromeEvent{{Name: ev.Kind.String(), Ph: "i", Ts: ts, Tid: tid, Scope: "t"}}
+}

@@ -1,0 +1,109 @@
+package obs
+
+// MemWatch is the flight recorder's heap telemetry: periodic
+// runtime.MemStats sampling that establishes whether a long run's heap
+// is flat — the baseline the 100k-node streaming work needs. The
+// determinism split applies per field within a sample: *when* samples
+// are taken (one per conductor span, plus one at snapshot) and their
+// sim-time stamps are deterministic; the measured HeapAlloc / HeapInuse
+// / NumGC values obviously are not, and Trace.Deterministic zeroes
+// them.
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// memWatchCap bounds the sample buffer; past it, further samples
+// overwrite the last slot (keeping first and latest watermarks) and
+// are counted. One sample per span keeps realistic runs far below it.
+const memWatchCap = 256
+
+// HeapSample is one MemWatch observation.
+//
+//sollint:wire TraceVersion
+type HeapSample struct {
+	// At is the sample's sim-time stamp (elapsed virtual ns) —
+	// deterministic.
+	At int64 `json:"at_ns"`
+	// HeapAlloc/HeapInuse/NumGC are the runtime.MemStats fields of the
+	// same names — diagnostic only.
+	HeapAlloc uint64 `json:"heap_alloc"`
+	HeapInuse uint64 `json:"heap_inuse"`
+	NumGC     uint32 `json:"num_gc"`
+}
+
+// MemWatch accumulates heap samples for one recorder. Sampled only on
+// the conductor goroutine with the fleet aligned — runtime.ReadMemStats
+// stops the world, which inside a span would smear one shard's wait
+// attribution across the fleet.
+type MemWatch struct {
+	samples []HeapSample
+	ms      runtime.MemStats // reused across samples; no alloc per Sample
+	clipped int64
+}
+
+// NewMemWatch returns a watch holding at most cap samples.
+func NewMemWatch(capacity int) *MemWatch {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &MemWatch{samples: make([]HeapSample, 0, capacity)}
+}
+
+// Sample records one observation stamped at sim-time at. Nil-safe.
+func (m *MemWatch) Sample(at int64) {
+	if m == nil {
+		return
+	}
+	runtime.ReadMemStats(&m.ms)
+	hs := HeapSample{At: at, HeapAlloc: m.ms.HeapAlloc, HeapInuse: m.ms.HeapInuse, NumGC: m.ms.NumGC}
+	if len(m.samples) == cap(m.samples) {
+		m.clipped++
+		m.samples[len(m.samples)-1] = hs
+		return
+	}
+	m.samples = append(m.samples, hs)
+}
+
+// Samples returns the accumulated observations, oldest first.
+func (m *MemWatch) Samples() []HeapSample {
+	if m == nil {
+		return nil
+	}
+	return m.samples
+}
+
+// HeapLine renders the one-line heap telemetry summary for reports:
+// peak watermarks and GC cycles over the run. Empty when there are no
+// samples, so untraced reports gain zero lines.
+func HeapLine(samples []HeapSample) string {
+	if len(samples) == 0 {
+		return ""
+	}
+	var peakAlloc, peakInuse uint64
+	for _, hs := range samples {
+		if hs.HeapAlloc > peakAlloc {
+			peakAlloc = hs.HeapAlloc
+		}
+		if hs.HeapInuse > peakInuse {
+			peakInuse = hs.HeapInuse
+		}
+	}
+	gc := samples[len(samples)-1].NumGC - samples[0].NumGC
+	return fmt.Sprintf("heap: peak alloc %s, peak inuse %s, %d gc cycles over %d samples",
+		fmtBytes(peakAlloc), fmtBytes(peakInuse), gc, len(samples))
+}
+
+// fmtBytes renders a byte count at a human scale.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -93,6 +93,12 @@ type Config struct {
 	// never changes what the simulation computes, and when off the hot
 	// path pays a single nil check.
 	Profile bool
+	// Trace enables the conductor's flight recorder: per-shard rings of
+	// span/epoch/lifecycle events stamped with sim-time, plus heap
+	// telemetry (see internal/obs). Same contract as Profile: the
+	// recorder observes the schedule without changing it, and when off
+	// every record site pays a single nil check.
+	Trace bool
 }
 
 func (c Config) validate() error {
@@ -174,6 +180,7 @@ type Conductor struct {
 	//sollint:shardlocal
 	aligned time.Duration
 	prof    *obs.Profiler // nil when Config.Profile is off
+	rec     *obs.Recorder // nil when Config.Trace is off
 	//sollint:shardlocal
 	allot []int // per-shard worker override (SetAllotments); nil = even spread
 }
@@ -192,8 +199,23 @@ func New(cfg Config) (*Conductor, error) {
 	if cfg.Profile {
 		c.prof = obs.NewProfiler(s)
 	}
+	if cfg.Trace {
+		c.rec = obs.NewRecorder(c.bounds)
+	}
 	return c, nil
 }
+
+// Recorder returns the conductor's flight recorder, nil when tracing
+// is off. Callers hang their own events (lifecycle transitions,
+// campaign decisions) on it; every recorder method is nil-safe, so the
+// pointer threads unconditionally.
+func (c *Conductor) Recorder() *obs.Recorder { return c.rec }
+
+// Trace snapshots the accumulated flight-recorder events, or nil when
+// tracing is off. Only call between Run calls (fleet aligned).
+//
+//sollint:alignspan
+func (c *Conductor) Trace() *obs.Trace { return c.rec.Snapshot(int64(c.aligned)) }
 
 // Profiling reports whether the conductor's self-profiler is on.
 func (c *Conductor) Profiling() bool { return c.prof.Enabled() }
@@ -305,16 +327,20 @@ func (c *Conductor) Run(sp Span) error {
 		return nil
 	}
 	span := sp.Until - c.aligned
-	// Profiling brackets (all nil-safe no-ops when off): the gap since
-	// the previous span's barrier is conductor-align time, each phase
-	// inside a shard is timed on that shard's goroutine, and the span
-	// barrier turns per-shard finish stamps into barrier wait. The
-	// profiler only ever observes the schedule — it never changes it —
-	// so a profiled run computes byte-identical simulation output.
+	from := c.aligned
+	// Profiling and flight-recorder brackets (all nil-safe no-ops when
+	// off): the gap since the previous span's barrier is conductor-align
+	// time, each phase inside a shard is timed on that shard's
+	// goroutine, and the span barrier turns per-shard finish stamps into
+	// barrier wait. The recorder marks the same schedule as events —
+	// span begin/end and epoch barriers per shard. Both only ever
+	// observe the schedule, never change it, so an instrumented run
+	// computes byte-identical simulation output.
 	c.prof.BeginSpan()
 	ForEach(c.nShards, min(c.workers, c.nShards), func(s int) {
 		lo, hi := c.bounds[s], c.bounds[s+1]
 		w := c.shardWorkers(s)
+		c.rec.SpanBegin(s, int64(from))
 		var stepped []int
 		if sp.Stepped != nil {
 			stepped = sp.Stepped(s)
@@ -324,6 +350,7 @@ func (c *Conductor) Run(sp Span) error {
 			t := c.prof.Start()
 			ForEach(hi-lo, w, func(i int) { c.cfg.Advance(lo+i, span) })
 			c.prof.RecordFree(s, hi-lo, t)
+			c.rec.SpanEnd(s, int64(sp.Until))
 			c.prof.SpanEnd(s)
 			return
 		}
@@ -356,15 +383,18 @@ func (c *Conductor) Run(sp Span) error {
 			ForEach(len(stepped), w, func(i int) { c.cfg.Advance(stepped[i], step) })
 			t = c.prof.RecordStep(s, len(stepped), t)
 			cur += step
+			c.rec.Epoch(s, int64(from+cur), epoch)
 			if sp.OnEpoch != nil {
 				sp.OnEpoch(s, epoch, c.aligned+cur, step)
 				c.prof.RecordAlign(s, t)
 			}
 		}
+		c.rec.SpanEnd(s, int64(sp.Until))
 		c.prof.SpanEnd(s)
 	})
 	c.prof.EndSpan()
 	c.aligned = sp.Until
+	c.rec.SampleHeap(int64(sp.Until))
 	return nil
 }
 

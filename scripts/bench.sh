@@ -5,11 +5,11 @@
 # numbers here so regressions are diffable across machines and PRs
 # (pair with benchstat for significance testing).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR8.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR10.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR8.json}
+out=${1:-BENCH_PR10.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -26,7 +26,7 @@ go test -run '^$' -benchmem \
 # iterations keep the run short; each iteration is already a multi-node
 # simulation.
 go test -run '^$' -benchmem -benchtime=3x \
-  -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$|BenchmarkFleetStepped64$|BenchmarkRollout32$|BenchmarkRollout32Profiled$|BenchmarkRollout32Robust$|BenchmarkRolloutManifest32$' \
+  -bench 'BenchmarkSupervisorNode$|BenchmarkFleet64$|BenchmarkFleetSerial$|BenchmarkFleetStepped64$|BenchmarkRollout32$|BenchmarkRollout32Profiled$|BenchmarkRollout32Traced$|BenchmarkRollout32Robust$|BenchmarkRolloutManifest32$' \
   . | tee -a "$tmp"
 # Sharded coordination: the single-barrier coordinator vs the sharded
 # conductor on the same 1k/4k-node canary-observation scenario at equal
@@ -36,12 +36,14 @@ go test -run '^$' -benchmem -benchtime=3x \
 # campaign at the control plane's coarse epochs (must stay within noise
 # of BenchmarkRollout32).
 # The PR-8 self-profiler twins (Fleet4kShardedProfiled, Rollout32-
-# Profiled) run in the same invocation as their unprofiled
-# counterparts so both sides share one machine-load window: the twin
+# Profiled) and the PR-10 flight-recorder twins (Fleet4kShardedTraced,
+# Rollout32Traced) run in the same invocation as their plain
+# counterparts so both sides share one machine-load window: each twin
 # must stay within 2% (noise) of its counterpart — the profiler's
-# whole budget is a clock read and a counter add per phase transition.
+# whole budget is a clock read and a counter add per phase transition,
+# the recorder's a zero-allocation ring store per event.
 go test -run '^$' -benchmem -benchtime=3x \
-  -bench 'BenchmarkFleet1kStepped$|BenchmarkFleet1kSharded$|BenchmarkFleet4kStepped$|BenchmarkFleet4kSharded$|BenchmarkFleet4kShardedProfiled$|BenchmarkFleet10kSharded$|BenchmarkRollout32Sharded$' \
+  -bench 'BenchmarkFleet1kStepped$|BenchmarkFleet1kSharded$|BenchmarkFleet4kStepped$|BenchmarkFleet4kSharded$|BenchmarkFleet4kShardedProfiled$|BenchmarkFleet4kShardedTraced$|BenchmarkFleet10kSharded$|BenchmarkRollout32Sharded$' \
   . | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
